@@ -1,0 +1,75 @@
+//! Micro-ablations of the regex engine the whole system stands on:
+//! the literal prefilter, `count_all` vs `is_match`, and pattern
+//! complexity classes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psigene_regex::{Regex, RegexBuilder};
+
+const BENIGN_HAY: &[u8] = b"page=2&sort=asc&term=2012&q=library+hours+and+campus+map&ref=home";
+const ATTACK_HAY: &[u8] =
+    b"id=-1%27+union+all+select+1,2,concat(version(),0x3a,user()),4+from+users--+-";
+
+fn patterns() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("literal", r"union\s+select"),
+        ("alternation", r"<=>|r?like|sounds\s+like|regexp"),
+        ("counted", r"(%[0-9a-f]{2}){4,}"),
+        ("boundary", r"\bunion\b"),
+        ("complex", r"union(\s|/\*.*?\*/)+(all(\s|/\*.*?\*/)+)?select"),
+    ]
+}
+
+fn bench_prefilter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefilter");
+    for (name, pat) in patterns() {
+        for (pf, pf_name) in [(true, "on"), (false, "off")] {
+            let re = RegexBuilder::new()
+                .case_insensitive(true)
+                .prefilter(pf)
+                .build(pat)
+                .expect("pattern compiles");
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}_benign"), pf_name),
+                &re,
+                |b, re| b.iter(|| std::hint::black_box(re.is_match(BENIGN_HAY))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_count_vs_match(c: &mut Criterion) {
+    let re = Regex::builder()
+        .case_insensitive(true)
+        .build(r"[0-9]+")
+        .expect("pattern compiles");
+    let mut group = c.benchmark_group("count_vs_match");
+    group.bench_function("is_match_attack", |b| {
+        b.iter(|| std::hint::black_box(re.is_match(ATTACK_HAY)))
+    });
+    group.bench_function("count_all_attack", |b| {
+        b.iter(|| std::hint::black_box(re.count_all(ATTACK_HAY)))
+    });
+    group.finish();
+}
+
+fn bench_pattern_classes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pattern_classes_attack_hay");
+    for (name, pat) in patterns() {
+        let re = RegexBuilder::new()
+            .case_insensitive(true)
+            .build(pat)
+            .expect("pattern compiles");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &re, |b, re| {
+            b.iter(|| std::hint::black_box(re.count_all(ATTACK_HAY)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_prefilter, bench_count_vs_match, bench_pattern_classes
+}
+criterion_main!(benches);

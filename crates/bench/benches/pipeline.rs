@@ -1,0 +1,92 @@
+//! Training-pipeline phase costs: crawling, feature extraction,
+//! UPGMA clustering, and per-signature logistic regression.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psigene_cluster::{hac, Linkage};
+use psigene_corpus::{crawl_training_set, CrawlCorpusConfig};
+use psigene_features::{extract, FeatureSet};
+use psigene_learn::{train, TrainOptions};
+use psigene_linalg::Matrix;
+
+fn bench_crawl(c: &mut Criterion) {
+    c.bench_function("crawl_400_samples", |b| {
+        b.iter(|| {
+            let ds = crawl_training_set(&CrawlCorpusConfig {
+                samples: 400,
+                ..Default::default()
+            });
+            std::hint::black_box(ds.len())
+        })
+    });
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let set = FeatureSet::full();
+    let ds = crawl_training_set(&CrawlCorpusConfig {
+        samples: 200,
+        ..Default::default()
+    });
+    let payloads: Vec<&[u8]> = ds
+        .samples
+        .iter()
+        .map(|s| s.request.detection_payload())
+        .collect();
+    let mut group = c.benchmark_group("feature_extraction_200");
+    for threads in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| std::hint::black_box(extract::extract_matrix(&set, &payloads, threads)))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_hac(c: &mut Criterion) {
+    // Synthetic points (clustering cost is data-independent given n).
+    let n = 400;
+    let data: Vec<f64> = (0..n * 4)
+        .map(|i| ((i * 2_654_435_761usize) % 1000) as f64 / 100.0)
+        .collect();
+    let m = Matrix::from_rows(n, 4, data);
+    let mut group = c.benchmark_group("hac_400_points");
+    for linkage in [Linkage::Average, Linkage::Single, Linkage::Complete] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(linkage.name()),
+            &linkage,
+            |b, &link| b.iter(|| std::hint::black_box(hac::cluster_rows(&m, link))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_logreg(c: &mut Criterion) {
+    // 2000×20 logistic regression, linearly separable-ish.
+    let rows = 2000;
+    let cols = 20;
+    let mut data = Vec::with_capacity(rows * cols);
+    let mut labels = Vec::with_capacity(rows);
+    let mut v = 1.0f64;
+    for r in 0..rows {
+        let mut s = 0.0;
+        for _ in 0..cols {
+            v = (v * 1.3 + 0.7) % 5.0;
+            data.push(v);
+            s += v;
+        }
+        labels.push(s > cols as f64 * 2.4 && r % 7 != 0);
+    }
+    let x = Matrix::from_rows(rows, cols, data);
+    c.bench_function("logreg_newton_pcg_2000x20", |b| {
+        b.iter(|| std::hint::black_box(train(&x, &labels, &TrainOptions::default()).final_loss))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_crawl, bench_extraction, bench_hac, bench_logreg
+}
+criterion_main!(benches);

@@ -1,0 +1,612 @@
+//! Shared harness for the reproduction binary: dataset construction,
+//! engine evaluation, and one function per table/figure of the paper.
+
+use psigene::{PipelineConfig, Psigene};
+use psigene_corpus::{arachni, benign, sqlmap, crawl_training_set, CrawlCorpusConfig, Dataset};
+use psigene_learn::{ConfusionMatrix, RocCurve};
+use psigene_perdisci::{PerdisciConfig, PerdisciSystem};
+use psigene_rulesets::{BroEngine, DetectionEngine, ModsecEngine, SnortEngine};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Scaled experiment setup. `scale` = 1.0 reproduces the paper's
+/// corpus sizes (30 000 attacks / 240 000 benign / 1.4 M-request FPR
+/// trace); the default harness scale is 0.1.
+#[derive(Debug, Clone)]
+pub struct Setup {
+    /// Corpus scale relative to the paper.
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Setup {
+    fn default() -> Setup {
+        Setup {
+            scale: 0.1,
+            seed: 0x0051_6e5e,
+        }
+    }
+}
+
+impl Setup {
+    /// Pipeline configuration at this scale.
+    pub fn pipeline_config(&self) -> PipelineConfig {
+        let f = self.scale.max(0.001);
+        PipelineConfig {
+            seed: self.seed,
+            crawl_samples: (30_000.0 * f) as usize,
+            benign_train: (240_000.0 * f) as usize,
+            ..PipelineConfig::default()
+        }
+    }
+
+    /// The SQLmap TPR test set (paper: >7 200 samples).
+    pub fn sqlmap_test(&self) -> Dataset {
+        sqlmap::generate(&sqlmap::SqlmapConfig {
+            samples: (7_200.0 * self.scale.max(0.01)) as usize,
+            ..Default::default()
+        })
+    }
+
+    /// The Arachni+Vega TPR test set (paper: 8 578 samples).
+    pub fn arachni_test(&self) -> Dataset {
+        arachni::generate(&arachni::ArachniConfig {
+            samples: (8_578.0 * self.scale.max(0.01)) as usize,
+            ..Default::default()
+        })
+    }
+
+    /// The benign FPR test trace (paper: 1.4 M GET requests over a
+    /// week). Includes the novel SQL-ish tail absent from training.
+    pub fn benign_test(&self) -> Dataset {
+        benign::generate(&benign::BenignConfig {
+            requests: (1_400_000.0 * self.scale.max(0.01) * 0.143) as usize,
+            sqlish_fraction: 0.01,
+            include_novel_tail: true,
+            seed: 0x7e57_be11,
+        })
+    }
+
+    /// The crawled training set alone (for Perdisci and table 1).
+    pub fn training_set(&self) -> Dataset {
+        crawl_training_set(&CrawlCorpusConfig {
+            samples: (30_000.0 * self.scale.max(0.001)) as usize,
+            seed: self.seed,
+            ..Default::default()
+        })
+    }
+}
+
+/// TPR of an engine on an all-attack dataset.
+pub fn tpr(engine: &dyn DetectionEngine, ds: &Dataset) -> f64 {
+    let hits = ds
+        .samples
+        .iter()
+        .filter(|s| engine.evaluate(&s.request).flagged)
+        .count();
+    hits as f64 / ds.len().max(1) as f64
+}
+
+/// Confusion matrix of an engine on a benign dataset.
+pub fn benign_confusion(engine: &dyn DetectionEngine, ds: &Dataset) -> ConfusionMatrix {
+    let mut cm = ConfusionMatrix::default();
+    for s in &ds.samples {
+        cm.record(false, engine.evaluate(&s.request).flagged);
+    }
+    cm
+}
+
+/// Table I: the vulnerability catalog plus the coverage check.
+pub fn table1(setup: &Setup) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "TABLE I — SQLi vulnerabilities (July 2012 style) and dataset coverage\n");
+    let _ = writeln!(out, "{:<52} {:<16} {:>9}", "VULNERABILITY", "CVE ID", "COVERED");
+    let train = setup.training_set();
+    let params: std::collections::HashSet<&str> = train
+        .samples
+        .iter()
+        .filter_map(|s| s.request.raw_query.split('=').next())
+        .collect();
+    let catalog = psigene_corpus::vulndb::catalog();
+    let mut covered = 0;
+    for v in &catalog {
+        let hit = params.contains(v.parameter.as_str());
+        if hit {
+            covered += 1;
+        }
+        let _ = writeln!(
+            out,
+            "{:<52} {:<16} {:>9}",
+            truncate(&v.application, 52),
+            v.cve_id,
+            if hit { "yes" } else { "NO" }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\ncoverage: {covered}/{} catalog entries have a matching attack sample",
+        catalog.len()
+    );
+    out
+}
+
+/// Table II: feature sources.
+pub fn table2() -> String {
+    use psigene_features::{FeatureSet, FeatureSource};
+    let mut out = String::new();
+    let _ = writeln!(out, "TABLE II — Sources of SQLi features\n");
+    let set = FeatureSet::full();
+    let hist = set.source_histogram();
+    for source in FeatureSource::ALL {
+        let n = hist.iter().find(|(s, _)| *s == source).map(|(_, n)| *n).unwrap_or(0);
+        let _ = writeln!(out, "{} ({n} features)", source.label());
+        let _ = writeln!(out, "  examples: {}", source.examples().join("  "));
+        let _ = writeln!(out, "  {}\n", source.description());
+    }
+    let _ = writeln!(out, "total features before pruning: {}", set.len());
+    out
+}
+
+/// Table III: the features of one signature (the paper prints
+/// signature 6's six features; we print the signature closest to six
+/// features).
+pub fn table3(system: &Psigene) -> String {
+    let mut out = String::new();
+    let sig = system
+        .signatures()
+        .iter()
+        .min_by_key(|s| (s.bicluster_feature_count() as i64 - 6).unsigned_abs())
+        .expect("at least one signature");
+    let _ = writeln!(
+        out,
+        "TABLE III — features included in signature {} ({} features)\n",
+        sig.id,
+        sig.bicluster_feature_count()
+    );
+    let _ = writeln!(out, "{:>8}  FEATURE (regular expression)", "NUMBER");
+    for &i in &sig.feature_indices {
+        let f = &system.feature_set().features()[i];
+        let _ = writeln!(out, "{i:>8}  {}", f.pattern);
+    }
+    out
+}
+
+/// Table IV: ruleset comparison.
+pub fn table4() -> String {
+    format!(
+        "TABLE IV — comparison between different SQLi rulesets\n\n{}",
+        psigene_rulesets::render_table_iv(&psigene_rulesets::table_iv())
+    )
+}
+
+/// One row of Table V.
+#[derive(Debug, Clone)]
+pub struct AccuracyRow {
+    /// Engine name.
+    pub name: String,
+    /// TPR on the SQLmap set.
+    pub tpr_sqlmap: f64,
+    /// TPR on the Arachni set.
+    pub tpr_arachni: f64,
+    /// FPR on the benign week.
+    pub fpr: f64,
+    /// Absolute false alarms.
+    pub false_alarms: usize,
+}
+
+/// Table V: accuracy comparison across all engines.
+pub fn table5(system: &Psigene, setup: &Setup) -> (String, Vec<AccuracyRow>) {
+    let ids: Vec<usize> = system.signatures().iter().map(|s| s.id).collect();
+    let p9 = system.with_signatures(&ids[..9.min(ids.len())]);
+    let p7 = system.with_signatures(&ids[..7.min(ids.len())]);
+    let sqlmap_ds = setup.sqlmap_test();
+    let arachni_ds = setup.arachni_test();
+    let benign_ds = setup.benign_test();
+
+    let bro = BroEngine::new();
+    let snort = SnortEngine::new();
+    let modsec = ModsecEngine::new();
+    let engines: Vec<(&dyn DetectionEngine, &str)> = vec![
+        (&modsec, "ModSecurity"),
+        (&p9, "pSigene (9 signatures)"),
+        (&p7, "pSigene (7 signatures)"),
+        (&snort, "Snort - Emerging Threats"),
+        (&bro, "Bro"),
+    ];
+    let mut rows = Vec::new();
+    for (e, label) in engines {
+        let cm = benign_confusion(e, &benign_ds);
+        rows.push(AccuracyRow {
+            name: label.to_string(),
+            tpr_sqlmap: tpr(e, &sqlmap_ds),
+            tpr_arachni: tpr(e, &arachni_ds),
+            fpr: cm.fpr(),
+            false_alarms: cm.false_positives,
+        });
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "TABLE V — accuracy comparison between different SQLi rulesets");
+    let _ = writeln!(
+        out,
+        "(test sets: {} SQLmap, {} Arachni, {} benign requests)\n",
+        sqlmap_ds.len(),
+        arachni_ds.len(),
+        benign_ds.len()
+    );
+    let _ = writeln!(
+        out,
+        "{:<26} {:>12} {:>13} {:>9} {:>8}",
+        "RULES", "TPR(SQLmap)", "TPR(Arachni)", "FPR", "ALARMS"
+    );
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "{:<26} {:>11.2}% {:>12.2}% {:>8.4}% {:>8}",
+            r.name,
+            r.tpr_sqlmap * 100.0,
+            r.tpr_arachni * 100.0,
+            r.fpr * 100.0,
+            r.false_alarms
+        );
+    }
+    (out, rows)
+}
+
+/// Table VI: per-cluster details.
+pub fn table6(system: &Psigene) -> String {
+    format!(
+        "TABLE VI — details of signatures for each cluster\n\n{}",
+        system.report().render_table_vi()
+    )
+}
+
+/// Figure 2: heat map + dendrogram data.
+pub fn fig2(setup: &Setup, out_dir: &std::path::Path) -> std::io::Result<String> {
+    use psigene_cluster::{bicluster_matrix, BiclusterConfig};
+    use psigene_features::{extract, FeatureSet};
+
+    let config = setup.pipeline_config();
+    let train = setup.training_set();
+    let full = FeatureSet::full();
+    let payloads: Vec<&[u8]> = train
+        .samples
+        .iter()
+        .map(|s| s.request.detection_payload())
+        .collect();
+    let m_full = extract::extract_matrix(&full, &payloads, config.threads);
+    let (_pruned, kept) = full.prune_unobserved(&m_full);
+    let m = m_full.select_cols(&kept);
+    // The heat map is drawn on the clustered sample (the paper's is
+    // the full 30 000×159 matrix; ours caps the O(n²) HAC input).
+    let cap = config.cluster_sample_cap.min(m.rows());
+    let rows: Vec<usize> = (0..cap).collect();
+    let mcap = m.select_rows(&rows);
+    let result = bicluster_matrix(
+        &mcap,
+        &BiclusterConfig {
+            min_row_fraction: config.bicluster.min_row_fraction,
+            target_biclusters: config.bicluster.target_biclusters,
+            black_hole_threshold: config.bicluster.black_hole_threshold,
+            ..BiclusterConfig::default()
+        },
+    );
+    let heatmap = psigene_cluster::heatmap::build(&mcap, &result);
+    std::fs::create_dir_all(out_dir)?;
+    std::fs::write(out_dir.join("fig2_heatmap.csv"), heatmap.to_csv())?;
+    std::fs::write(out_dir.join("fig2_heatmap.pgm"), heatmap.to_pgm())?;
+    let cond = psigene_linalg::distance::pairwise_euclidean_sparse(&mcap);
+    let coph = psigene_cluster::cophenetic_correlation(&result.row_dendrogram, &cond);
+    let mut out = String::new();
+    let _ = writeln!(out, "FIGURE 2 — biclustered heat map ({}×{} matrix)\n", mcap.rows(), mcap.cols());
+    out.push_str(&heatmap.to_ascii(40, 78));
+    let _ = writeln!(out, "\nbiclusters: {}", result.biclusters.len());
+    for b in &result.biclusters {
+        let _ = writeln!(
+            out,
+            "  bicluster {:>2}: {:>5} samples, {:>3} features{}",
+            b.id,
+            b.rows.len(),
+            b.cols.len(),
+            if b.black_hole { "  (black hole)" } else { "" }
+        );
+    }
+    let _ = writeln!(out, "cophenetic correlation coefficient: {coph:.3} (paper: 0.92)");
+    let _ = writeln!(out, "artifacts: fig2_heatmap.csv, fig2_heatmap.pgm");
+    Ok(out)
+}
+
+/// Figure 3: per-signature ROC curves.
+pub fn fig3(system: &Psigene, setup: &Setup, out_dir: &std::path::Path) -> std::io::Result<String> {
+    let sqlmap_ds = setup.sqlmap_test();
+    let arachni_ds = setup.arachni_test();
+    let benign_ds = setup.benign_test();
+    std::fs::create_dir_all(out_dir)?;
+
+    // Scores for every signature over the combined test set.
+    let mut labels: Vec<bool> = Vec::new();
+    let mut scores: Vec<Vec<f64>> = vec![Vec::new(); system.signatures().len()];
+    for (ds, is_attack) in [(&sqlmap_ds, true), (&arachni_ds, true), (&benign_ds, false)] {
+        for s in &ds.samples {
+            labels.push(is_attack);
+            let probs = system.probabilities(&s.request);
+            for (i, (_, p)) in probs.iter().enumerate() {
+                scores[i].push(*p);
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "FIGURE 3 — ROC curves for the generalized signatures\n");
+    let _ = writeln!(out, "{:>10} {:>8} {:>16} {:>16}", "SIGNATURE", "AUC", "TPR@FPR<=0.5%", "TPR@FPR<=5%");
+    for (i, sig) in system.signatures().iter().enumerate() {
+        let roc = RocCurve::from_scores(&scores[i], &labels);
+        std::fs::write(
+            out_dir.join(format!("fig3_roc_sig{}.csv", sig.id)),
+            roc.to_csv(),
+        )?;
+        let _ = writeln!(
+            out,
+            "{:>10} {:>8.3} {:>15.1}% {:>15.1}%",
+            sig.id,
+            roc.auc(),
+            roc.tpr_at_fpr(0.005) * 100.0,
+            roc.tpr_at_fpr(0.05) * 100.0
+        );
+    }
+    let _ = writeln!(out, "\nper-signature CSVs written to fig3_roc_sig<N>.csv");
+    Ok(out)
+}
+
+/// Figure 4: cumulative TPR of the signature set.
+pub fn fig4(system: &Psigene, setup: &Setup) -> String {
+    let test = {
+        let mut t = setup.sqlmap_test();
+        t.extend(setup.arachni_test());
+        t
+    };
+    // Solo TPR per signature, then cumulate in descending quality.
+    let mut solo: Vec<(usize, f64)> = system
+        .signatures()
+        .iter()
+        .map(|s| (s.id, tpr(&system.with_signatures(&[s.id]), &test)))
+        .collect();
+    solo.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = String::new();
+    let _ = writeln!(out, "FIGURE 4 — cumulative TPR as signatures are added (best first)\n");
+    let _ = writeln!(out, "{:>10} {:>10} {:>12} {:>14}", "SIGNATURE", "SOLO TPR", "CUMULATIVE", "CONTRIBUTION");
+    let mut enabled: Vec<usize> = Vec::new();
+    let mut prev = 0.0;
+    for (id, solo_tpr) in solo {
+        enabled.push(id);
+        let cum = tpr(&system.with_signatures(&enabled), &test);
+        let _ = writeln!(
+            out,
+            "{:>10} {:>9.2}% {:>11.2}% {:>13.2}%",
+            id,
+            solo_tpr * 100.0,
+            cum * 100.0,
+            (cum - prev) * 100.0
+        );
+        prev = cum;
+    }
+    out
+}
+
+/// Experiment 2: incremental learning with 20 % / 40 % of the SQLmap
+/// set folded into training.
+pub fn exp2(system: &Psigene, setup: &Setup) -> String {
+    use rand::SeedableRng;
+    let mut sqlmap_ds = setup.sqlmap_test();
+    // "we first randomized the SQLmap set and then divided it" —
+    // shuffle before splitting.
+    sqlmap_ds.shuffle(&mut rand_chacha::ChaCha8Rng::seed_from_u64(0x1ea4_ed));
+    let benign_ds = setup.benign_test();
+    let mut out = String::new();
+    let _ = writeln!(out, "EXPERIMENT 2 — incremental learning\n");
+    let base_tpr = tpr(system, &sqlmap_ds);
+    let base_cm = benign_confusion(system, &benign_ds);
+    let _ = writeln!(
+        out,
+        "{:<22} TPR = {:>6.2}%   FPR = {:>7.4}%",
+        "baseline (0% added)",
+        base_tpr * 100.0,
+        base_cm.fpr() * 100.0
+    );
+    // The paper randomizes the SQLmap set, folds a fraction into
+    // training, and reports TPR over the set — "one can hypothesize
+    // that pSigene is seeing some similar attack samples in the test
+    // phase" (§III-E). The held-out rate is reported alongside.
+    for fraction in [0.2, 0.4] {
+        let (added, rest) = sqlmap_ds.split_fraction(fraction);
+        let (updated, stats) = system.retrain_with(&added, 4);
+        let t_full = tpr(&updated, &sqlmap_ds);
+        let t_rest = tpr(&updated, &rest);
+        let cm = benign_confusion(&updated, &benign_ds);
+        let _ = writeln!(
+            out,
+            "{:<22} TPR = {:>6.2}% (held-out {:>6.2}%)   FPR = {:>7.4}%   ({} assigned, {} signatures refit)",
+            format!("+{:.0}% of SQLmap set", fraction * 100.0),
+            t_full * 100.0,
+            t_rest * 100.0,
+            cm.fpr() * 100.0,
+            stats.assigned,
+            stats.retrained_signatures
+        );
+    }
+    let _ = writeln!(out, "\n(paper: 89.13% / 0.039% at +20%; 91.15% / 0.044% at +40%)");
+    out
+}
+
+/// Experiment 3: the Perdisci et al. baseline.
+pub fn exp3(setup: &Setup) -> String {
+    let train = setup.training_set();
+    let (sys, report) = PerdisciSystem::train(&train, &PerdisciConfig::default());
+    let sqlmap_ds = setup.sqlmap_test();
+    let arachni_ds = setup.arachni_test();
+    let benign_ds = setup.benign_test();
+    let mut out = String::new();
+    let _ = writeln!(out, "EXPERIMENT 3 — comparison to Perdisci et al.\n");
+    let _ = writeln!(
+        out,
+        "fine-grained clusters: {}   after filtering: {}   final signatures: {}",
+        report.fine_clusters, report.after_filter, report.final_signatures
+    );
+    let _ = writeln!(out, "(paper: 145 -> 27 -> 10)\n");
+    let cm = benign_confusion(&sys, &benign_ds);
+    let _ = writeln!(out, "TPR on SQLmap set:   {:>6.2}%  (paper: 5.79%)", tpr(&sys, &sqlmap_ds) * 100.0);
+    let _ = writeln!(out, "TPR on Arachni set:  {:>6.2}%", tpr(&sys, &arachni_ds) * 100.0);
+    let _ = writeln!(out, "FPR on benign week:  {:>7.4}% ({} alarms; paper: 0%)", cm.fpr() * 100.0, cm.false_positives);
+    let _ = writeln!(out, "TPR on training set: {:>6.2}%  (paper: 76.5%)", tpr(&sys, &train) * 100.0);
+    out
+}
+
+/// Experiment 4: per-request processing time per engine.
+pub fn exp4(system: &Psigene, setup: &Setup) -> String {
+    let sqlmap_ds = setup.sqlmap_test();
+    let modsec = ModsecEngine::new();
+    let bro = BroEngine::new();
+    let engines: Vec<(&dyn DetectionEngine, &str)> = vec![
+        (system, "pSigene"),
+        (&modsec, "ModSecurity"),
+        (&bro, "Bro"),
+    ];
+    let mut out = String::new();
+    let _ = writeln!(out, "EXPERIMENT 4 — processing time per HTTP request (SQLmap dataset)\n");
+    let _ = writeln!(out, "{:<14} {:>10} {:>10} {:>10}", "ENGINE", "MIN (µs)", "AVG (µs)", "MAX (µs)");
+    let mut avgs = Vec::new();
+    for (e, label) in engines {
+        let mut times = Vec::with_capacity(sqlmap_ds.len());
+        for s in &sqlmap_ds.samples {
+            let t = Instant::now();
+            let _ = e.evaluate(&s.request);
+            times.push(t.elapsed().as_nanos() as f64 / 1000.0);
+        }
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = times.iter().copied().fold(0.0, f64::max);
+        let avg = times.iter().sum::<f64>() / times.len() as f64;
+        avgs.push((label, avg));
+        let _ = writeln!(out, "{label:<14} {min:>10.1} {avg:>10.1} {max:>10.1}");
+    }
+    let psig = avgs[0].1;
+    let _ = writeln!(
+        out,
+        "\nslowdowns: pSigene vs ModSecurity = {:.1}x, vs Bro = {:.1}x",
+        psig / avgs[1].1,
+        psig / avgs[2].1
+    );
+    let _ = writeln!(out, "(paper: min 390 / avg 995 / max 1950 µs on a 700 MHz box; 17x vs ModSec, 11x vs Bro)");
+    out
+}
+
+/// Ablations of design choices the paper calls out.
+pub fn ablation(setup: &Setup) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "ABLATIONS — design choices called out in the paper
+");
+
+    // (1) Count vs binary features (§II-B: binary "did not produce
+    // good results").
+    let sqlmap_ds = setup.sqlmap_test();
+    let benign_ds = setup.benign_test();
+    let base_cfg = setup.pipeline_config();
+    let counts = Psigene::train(&base_cfg);
+    let binary = Psigene::train(&PipelineConfig {
+        binary_features: true,
+        ..base_cfg.clone()
+    });
+    let _ = writeln!(out, "(1) count vs binary features");
+    for (sys, label) in [(&counts, "count features "), (&binary, "binary features")] {
+        let cm = benign_confusion(sys, &benign_ds);
+        let _ = writeln!(
+            out,
+            "    {label}: TPR(SQLmap) = {:>6.2}%, FPR = {:>7.4}%, {} signatures",
+            tpr(sys, &sqlmap_ds) * 100.0,
+            cm.fpr() * 100.0,
+            sys.signatures().len()
+        );
+    }
+
+    // (2) Linkage choice (the paper uses UPGMA).
+    let _ = writeln!(out, "
+(2) linkage criterion (cophenetic fidelity + Table V TPR)");
+    for linkage in [
+        psigene_cluster::Linkage::Average,
+        psigene_cluster::Linkage::Complete,
+        psigene_cluster::Linkage::Single,
+        psigene_cluster::Linkage::Weighted,
+    ] {
+        let mut cfg = base_cfg.clone();
+        cfg.bicluster.linkage = linkage;
+        let sys = Psigene::train(&cfg);
+        let _ = writeln!(
+            out,
+            "    {:<18} cophenetic = {:>6.3}, {} signatures, TPR(SQLmap) = {:>6.2}%",
+            linkage.name(),
+            sys.report().cophenetic_correlation,
+            sys.signatures().len(),
+            tpr(&sys, &sqlmap_ds) * 100.0
+        );
+    }
+
+    // (3) 7 vs 9 vs all signatures (Experiment 1's knob).
+    let _ = writeln!(out, "
+(3) signature-set size");
+    let ids: Vec<usize> = counts.signatures().iter().map(|s| s.id).collect();
+    for n in [7usize, 9, ids.len()] {
+        let sub = counts.with_signatures(&ids[..n.min(ids.len())]);
+        let cm = benign_confusion(&sub, &benign_ds);
+        let _ = writeln!(
+            out,
+            "    {:>2} signatures: TPR(SQLmap) = {:>6.2}%, FPR = {:>7.4}%",
+            n.min(ids.len()),
+            tpr(&sub, &sqlmap_ds) * 100.0,
+            cm.fpr() * 100.0
+        );
+    }
+
+    // (4) Regex prefilter on/off (engine-level optimization).
+    let _ = writeln!(out, "
+(4) regex literal prefilter (1000 benign payloads x 30 features)");
+    let feats = psigene_features::FeatureSet::full();
+    let patterns: Vec<&str> = feats.features().iter().take(30).map(|f| f.pattern.as_str()).collect();
+    let hay: Vec<Vec<u8>> = benign_ds
+        .samples
+        .iter()
+        .take(1000)
+        .map(|s| s.request.detection_payload().to_vec())
+        .collect();
+    for (pf, label) in [(true, "prefilter on "), (false, "prefilter off")] {
+        let regexes: Vec<psigene_regex::Regex> = patterns
+            .iter()
+            .map(|p| {
+                psigene_regex::Regex::builder()
+                    .case_insensitive(true)
+                    .prefilter(pf)
+                    .build(p)
+                    .expect("pattern compiles")
+            })
+            .collect();
+        let t = Instant::now();
+        let mut total = 0usize;
+        for h in &hay {
+            for re in &regexes {
+                total += re.count_all(h);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "    {label}: {:>8.1} ms ({} total matches)",
+            t.elapsed().as_secs_f64() * 1000.0,
+            total
+        );
+    }
+    out
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        s.chars().take(n - 1).collect::<String>() + "…"
+    }
+}

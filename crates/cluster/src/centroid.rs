@@ -1,0 +1,235 @@
+//! Memory-light average-linkage clustering for large corpora.
+//!
+//! Exact UPGMA via Lance–Williams needs the O(n²) condensed distance
+//! matrix. Under **squared Euclidean** distance the average pairwise
+//! distance between two clusters has a closed form over summary
+//! statistics only:
+//!
+//! ```text
+//! avg_{x∈A, y∈B} ‖x−y‖² = ‖c_A − c_B‖² + v_A + v_B
+//! ```
+//!
+//! where `c` is the centroid and `v` the mean squared distance of
+//! members to it. Tracking `(centroid, v, size)` per cluster gives
+//! UPGMA-on-squared-Euclidean in O(n²·d) time and O(n·d) memory — the
+//! variant used when the corpus exceeds the exact path's sample cap.
+//! Merge heights are squared distances, so cuts are order-compatible
+//! with (but not numerically equal to) the exact Euclidean UPGMA tree.
+
+use crate::dendrogram::{Dendrogram, Merge};
+use psigene_linalg::CsrMatrix;
+
+/// Clusters the rows of a sparse matrix by centroid-summary UPGMA on
+/// squared Euclidean distance.
+///
+/// # Panics
+/// Panics when the matrix has no rows.
+pub fn cluster_sparse_rows_centroid(m: &CsrMatrix) -> Dendrogram {
+    let n = m.rows();
+    assert!(n > 0, "cannot cluster zero rows");
+    let d = m.cols();
+    if n == 1 {
+        return Dendrogram {
+            n,
+            merges: Vec::new(),
+        };
+    }
+
+    // Cluster summaries; slot i starts as leaf i.
+    let mut centroid: Vec<Vec<f64>> = (0..n)
+        .map(|r| {
+            let mut c = vec![0.0; d];
+            for (col, v) in m.row(r) {
+                c[col] = v;
+            }
+            c
+        })
+        .collect();
+    let mut spread = vec![0.0f64; n]; // v_A: mean squared distance to centroid
+    let mut size = vec![1usize; n];
+    let mut active = vec![true; n];
+    // Raw merges as (slot_a, slot_b, distance); the label step turns
+    // slots (stable leaf representatives) into dendrogram ids.
+    let mut raw: Vec<(usize, usize, f64)> = Vec::with_capacity(n - 1);
+    let mut chain: Vec<usize> = Vec::new();
+
+    let dist = |ca: &[f64], cb: &[f64], va: f64, vb: f64| -> f64 {
+        let mut acc = 0.0;
+        for (x, y) in ca.iter().zip(cb) {
+            let diff = x - y;
+            acc += diff * diff;
+        }
+        acc + va + vb
+    };
+
+    for _ in 0..(n - 1) {
+        if chain.is_empty() {
+            let start = active.iter().position(|&a| a).expect("active cluster");
+            chain.push(start);
+        }
+        loop {
+            let a = *chain.last().expect("chain non-empty");
+            let prev = if chain.len() >= 2 {
+                Some(chain[chain.len() - 2])
+            } else {
+                None
+            };
+            let mut best = usize::MAX;
+            let mut best_d = f64::INFINITY;
+            for c in 0..n {
+                if c == a || !active[c] {
+                    continue;
+                }
+                let dv = dist(&centroid[a], &centroid[c], spread[a], spread[c]);
+                if dv < best_d || (dv == best_d && Some(c) == prev) {
+                    best_d = dv;
+                    best = c;
+                }
+            }
+            if Some(best) == prev {
+                chain.pop();
+                chain.pop();
+                let b = best;
+                raw.push((a, b, best_d));
+                // Merge b into a's slot: new centroid is the weighted
+                // mean; the new spread is the mean squared distance of
+                // all members to it, which also has a closed form:
+                //   v = (na·va + nb·vb)/(na+nb)
+                //     + (na·nb)/(na+nb)² · ‖c_a − c_b‖²
+                let (na, nb) = (size[a] as f64, size[b] as f64);
+                let total = na + nb;
+                let mut gap_sq = 0.0;
+                for (x, y) in centroid[a].iter().zip(&centroid[b]) {
+                    let diff = x - y;
+                    gap_sq += diff * diff;
+                }
+                let new_spread =
+                    (na * spread[a] + nb * spread[b]) / total + (na * nb) / (total * total) * gap_sq;
+                let cb = std::mem::take(&mut centroid[b]);
+                for (x, y) in centroid[a].iter_mut().zip(&cb) {
+                    *x = (na * *x + nb * *y) / total;
+                }
+                spread[a] = new_spread;
+                size[a] += size[b];
+                active[b] = false;
+                break;
+            }
+            chain.push(best);
+        }
+    }
+
+    label(n, raw)
+}
+
+/// Sort-and-relabel (same as the exact path's label step).
+fn label(n: usize, mut raw: Vec<(usize, usize, f64)>) -> Dendrogram {
+    raw.sort_by(|x, y| x.2.partial_cmp(&y.2).unwrap_or(std::cmp::Ordering::Equal));
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut cluster_id: Vec<usize> = (0..n).collect();
+    let mut sizes: Vec<usize> = vec![1; n];
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut merges = Vec::with_capacity(raw.len());
+    for (i, (la, lb, dist)) in raw.into_iter().enumerate() {
+        let ra = find(&mut parent, la);
+        let rb = find(&mut parent, lb);
+        let new_id = n + i;
+        let new_size = sizes[ra] + sizes[rb];
+        merges.push(Merge {
+            a: cluster_id[ra],
+            b: cluster_id[rb],
+            distance: dist,
+            size: new_size,
+        });
+        parent[rb] = ra;
+        cluster_id[ra] = new_id;
+        sizes[ra] = new_size;
+    }
+    Dendrogram { n, merges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hac::cluster_sparse_rows;
+    use crate::Linkage;
+    use psigene_linalg::CsrBuilder;
+
+    fn blobs() -> CsrMatrix {
+        let mut b = CsrBuilder::new(2);
+        for i in 0..10 {
+            b.push_dense_row(&[0.1 * i as f64, 0.0]);
+        }
+        for i in 0..10 {
+            b.push_dense_row(&[10.0 + 0.1 * i as f64, 5.0]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn recovers_obvious_clusters() {
+        let dend = cluster_sparse_rows_centroid(&blobs());
+        let labels = dend.cut_k(2);
+        for i in 0..10 {
+            assert_eq!(labels[i], labels[0]);
+            assert_eq!(labels[10 + i], labels[10]);
+        }
+        assert_ne!(labels[0], labels[10]);
+    }
+
+    #[test]
+    fn merge_count_and_sizes() {
+        let dend = cluster_sparse_rows_centroid(&blobs());
+        assert_eq!(dend.merges.len(), 19);
+        assert_eq!(dend.merges.last().unwrap().size, 20);
+        for w in dend.merges.windows(2) {
+            assert!(w[0].distance <= w[1].distance + 1e-9);
+        }
+    }
+
+    #[test]
+    fn agrees_with_exact_upgma_on_cut_structure() {
+        // Heights differ (squared vs plain Euclidean) but the 2-way
+        // partition of well-separated data must agree.
+        let m = blobs();
+        let exact = cluster_sparse_rows(&m, Linkage::Average).cut_k(2);
+        let fast = cluster_sparse_rows_centroid(&m).cut_k(2);
+        // Same partition up to label swap.
+        let agree = (0..m.rows()).all(|i| (exact[i] == exact[0]) == (fast[i] == fast[0]));
+        assert!(agree);
+    }
+
+    #[test]
+    fn spread_identity_is_exact() {
+        // The closed-form average pairwise distance must equal the
+        // brute-force value for a merged pair of clusters.
+        let mut b = CsrBuilder::new(1);
+        for v in [0.0, 1.0, 5.0, 7.0] {
+            b.push_dense_row(&[v]);
+        }
+        let m = b.build();
+        // Cluster A = {0,1}, B = {2,3}.
+        let brute: f64 = [(0.0, 5.0), (0.0, 7.0), (1.0, 5.0), (1.0, 7.0)]
+            .iter()
+            .map(|(x, y): &(f64, f64)| (x - y) * (x - y))
+            .sum::<f64>()
+            / 4.0;
+        // Summary form: centroids 0.5 / 6.0, spreads 0.25 / 1.0.
+        let summary = (0.5f64 - 6.0).powi(2) + 0.25 + 1.0;
+        assert!((brute - summary).abs() < 1e-12, "{brute} vs {summary}");
+        let _ = m;
+    }
+
+    #[test]
+    fn single_row_is_trivial() {
+        let mut b = CsrBuilder::new(3);
+        b.push_dense_row(&[1.0, 0.0, 2.0]);
+        let dend = cluster_sparse_rows_centroid(&b.build());
+        assert!(dend.merges.is_empty());
+    }
+}

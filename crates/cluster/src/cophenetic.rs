@@ -1,0 +1,65 @@
+//! Cophenetic correlation — the dendrogram-fidelity measure the
+//! paper validates its HAC run with (§II-C, reporting 0.92).
+
+use crate::dendrogram::Dendrogram;
+use psigene_linalg::stats::pearson;
+
+/// The cophenetic correlation coefficient: the linear correlation
+/// between the original condensed distances and the cophenetic
+/// distances induced by the dendrogram.
+///
+/// # Panics
+/// Panics when `original.len()` does not match the dendrogram size.
+pub fn cophenetic_correlation(dend: &Dendrogram, original: &[f64]) -> f64 {
+    let coph = dend.cophenetic_distances();
+    assert_eq!(
+        coph.len(),
+        original.len(),
+        "distance vector length mismatch"
+    );
+    pearson(original, &coph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hac::cluster_condensed;
+    use crate::linkage::Linkage;
+
+    #[test]
+    fn ultrametric_input_gives_perfect_correlation() {
+        // Distances that are already ultrametric: the dendrogram
+        // reproduces them exactly → correlation 1.
+        // Points: two pairs at distance 1, pairs separated by 4.
+        let original = vec![1.0, 4.0, 4.0, 4.0, 4.0, 1.0];
+        let mut work = original.clone();
+        let dend = cluster_condensed(4, &mut work, Linkage::Average);
+        let c = cophenetic_correlation(&dend, &original);
+        assert!((c - 1.0).abs() < 1e-9, "got {c}");
+    }
+
+    #[test]
+    fn well_separated_clusters_correlate_highly() {
+        // 1-D points in two tight groups far apart.
+        let pts: [f64; 6] = [0.0, 0.2, 0.4, 10.0, 10.3, 10.6];
+        let n = pts.len();
+        let mut original = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                original.push((pts[i] - pts[j]).abs());
+            }
+        }
+        let mut work = original.clone();
+        let dend = cluster_condensed(n, &mut work, Linkage::Average);
+        let c = cophenetic_correlation(&dend, &original);
+        assert!(c > 0.95, "got {c}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut work = vec![1.0, 2.0, 3.0];
+        let dend = cluster_condensed(3, &mut work, Linkage::Average);
+        let _ = cophenetic_correlation(&dend, &[1.0]);
+    }
+}

@@ -1,0 +1,275 @@
+//! Hierarchical agglomerative clustering via the nearest-neighbor
+//! chain algorithm.
+//!
+//! NN-chain runs in O(n²) time and O(n²) memory for any *reducible*
+//! linkage (single, complete, UPGMA, WPGMA all are). Merges come out
+//! of the chain in non-monotonic order, so a final sort-and-relabel
+//! pass (the same `label` step SciPy uses) rewrites them into a
+//! distance-ordered [`Dendrogram`].
+
+use crate::dendrogram::{Dendrogram, Merge};
+use crate::linkage::Linkage;
+use psigene_linalg::distance::{condensed_index, condensed_len};
+
+/// Clusters `n` points given their condensed pairwise distances.
+///
+/// `condensed` is consumed as working storage (it is mutated).
+///
+/// # Panics
+/// Panics when `condensed.len() != n·(n−1)/2` or `n == 0`.
+pub fn cluster_condensed(n: usize, condensed: &mut [f64], linkage: Linkage) -> Dendrogram {
+    assert!(n > 0, "cannot cluster zero points");
+    assert_eq!(
+        condensed.len(),
+        condensed_len(n),
+        "condensed length mismatch"
+    );
+    if n == 1 {
+        return Dendrogram {
+            n,
+            merges: Vec::new(),
+        };
+    }
+
+    let mut size = vec![1usize; n];
+    let mut active = vec![true; n];
+    // Raw merges as (leaf_repr_a, leaf_repr_b, distance); the slot of
+    // `a` is reused for the merged cluster, so slots are stable leaf
+    // representatives.
+    let mut raw: Vec<(usize, usize, f64)> = Vec::with_capacity(n - 1);
+    let mut chain: Vec<usize> = Vec::with_capacity(n);
+
+    let dist = |cond: &[f64], i: usize, j: usize| -> f64 {
+        debug_assert_ne!(i, j);
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        cond[condensed_index(n, a, b)]
+    };
+
+    for _ in 0..(n - 1) {
+        if chain.is_empty() {
+            let start = active
+                .iter()
+                .position(|&a| a)
+                .expect("an active cluster exists");
+            chain.push(start);
+        }
+        loop {
+            let a = *chain.last().expect("chain non-empty");
+            // Nearest active neighbor of `a`; prefer the previous
+            // chain element on ties to guarantee termination.
+            let prev = if chain.len() >= 2 {
+                Some(chain[chain.len() - 2])
+            } else {
+                None
+            };
+            let mut best = usize::MAX;
+            let mut best_d = f64::INFINITY;
+            for c in 0..n {
+                if c == a || !active[c] {
+                    continue;
+                }
+                let d = dist(condensed, a, c);
+                if d < best_d || (d == best_d && Some(c) == prev) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            let b = best;
+            if Some(b) == prev {
+                // Reciprocal nearest neighbors: merge a and b.
+                chain.pop();
+                chain.pop();
+                let d_ab = best_d;
+                raw.push((a, b, d_ab));
+                // Lance–Williams update into slot `a`.
+                let (na, nb) = (size[a], size[b]);
+                for k in 0..n {
+                    if k == a || k == b || !active[k] {
+                        continue;
+                    }
+                    let dak = dist(condensed, a, k);
+                    let dbk = dist(condensed, b, k);
+                    let dn = linkage.update(dak, dbk, d_ab, na, nb);
+                    let (lo, hi) = if a < k { (a, k) } else { (k, a) };
+                    condensed[condensed_index(n, lo, hi)] = dn;
+                }
+                size[a] = na + nb;
+                active[b] = false;
+                break;
+            }
+            chain.push(b);
+        }
+    }
+
+    label(n, raw)
+}
+
+/// SciPy-style label step: sorts raw merges by distance and rewrites
+/// leaf representatives into dendrogram cluster ids via union-find.
+fn label(n: usize, mut raw: Vec<(usize, usize, f64)>) -> Dendrogram {
+    raw.sort_by(|x, y| x.2.partial_cmp(&y.2).unwrap_or(std::cmp::Ordering::Equal));
+    // Union-find over leaves mapping to current cluster id.
+    let mut parent: Vec<usize> = (0..n).collect();
+    let mut cluster_id: Vec<usize> = (0..n).collect(); // id of root's cluster
+    let mut sizes: Vec<usize> = vec![1; n];
+    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let mut merges = Vec::with_capacity(raw.len());
+    for (i, (la, lb, d)) in raw.into_iter().enumerate() {
+        let ra = find(&mut parent, la);
+        let rb = find(&mut parent, lb);
+        debug_assert_ne!(ra, rb, "merge of already-joined clusters");
+        let new_id = n + i;
+        let new_size = sizes[ra] + sizes[rb];
+        merges.push(Merge {
+            a: cluster_id[ra],
+            b: cluster_id[rb],
+            distance: d,
+            size: new_size,
+        });
+        // Attach rb under ra and give the root the new id.
+        parent[rb] = ra;
+        cluster_id[ra] = new_id;
+        sizes[ra] = new_size;
+    }
+    Dendrogram { n, merges }
+}
+
+/// Convenience: clusters dense rows by Euclidean distance.
+pub fn cluster_rows(m: &psigene_linalg::Matrix, linkage: Linkage) -> Dendrogram {
+    let mut cond = psigene_linalg::distance::pairwise_euclidean(m);
+    cluster_condensed(m.rows(), &mut cond, linkage)
+}
+
+/// Convenience: clusters sparse rows by Euclidean distance.
+pub fn cluster_sparse_rows(m: &psigene_linalg::CsrMatrix, linkage: Linkage) -> Dendrogram {
+    let mut cond = psigene_linalg::distance::pairwise_euclidean_sparse(m);
+    cluster_condensed(m.rows(), &mut cond, linkage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psigene_linalg::Matrix;
+
+    /// Points on a line: 0, 1, 10, 11, 50.
+    fn line_points() -> Matrix {
+        Matrix::from_rows(5, 1, vec![0.0, 1.0, 10.0, 11.0, 50.0])
+    }
+
+    #[test]
+    fn merges_are_sorted_and_complete() {
+        let d = cluster_rows(&line_points(), Linkage::Average);
+        assert_eq!(d.merges.len(), 4);
+        for w in d.merges.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+        assert_eq!(d.merges.last().unwrap().size, 5);
+    }
+
+    #[test]
+    fn two_obvious_clusters() {
+        let d = cluster_rows(&line_points(), Linkage::Average);
+        let labels = d.cut_k(3);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[4], labels[0]);
+        assert_ne!(labels[4], labels[2]);
+    }
+
+    #[test]
+    fn upgma_textbook_example() {
+        // Classic UPGMA worked example (condensed distances).
+        // Points: a,b,c with d(a,b)=2, d(a,c)=8, d(b,c)=6.
+        let mut cond = vec![2.0, 8.0, 6.0];
+        let d = cluster_condensed(3, &mut cond, Linkage::Average);
+        assert_eq!(d.merges[0].distance, 2.0); // (a,b)
+        // d((ab),c) = (8 + 6) / 2 = 7.
+        assert!((d.merges[1].distance - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_vs_complete_differ() {
+        // d(a,b)=1; c at 3 from a, 10 from b.
+        let mut cond_s = vec![1.0, 3.0, 10.0];
+        let mut cond_c = cond_s.clone();
+        let ds = cluster_condensed(3, &mut cond_s, Linkage::Single);
+        let dc = cluster_condensed(3, &mut cond_c, Linkage::Complete);
+        assert_eq!(ds.merges[1].distance, 3.0);
+        assert_eq!(dc.merges[1].distance, 10.0);
+    }
+
+    #[test]
+    fn single_point_is_trivial() {
+        let mut cond: Vec<f64> = vec![];
+        let d = cluster_condensed(1, &mut cond, Linkage::Average);
+        assert!(d.merges.is_empty());
+        assert_eq!(d.cut_k(1), vec![0]);
+    }
+
+    #[test]
+    fn identical_points_merge_at_zero() {
+        let m = Matrix::from_rows(3, 2, vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0]);
+        let d = cluster_rows(&m, Linkage::Average);
+        assert!(d.merges.iter().all(|m| m.distance == 0.0));
+    }
+
+    #[test]
+    fn agrees_with_naive_upgma_on_random_data() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..10 {
+            let n = rng.gen_range(3..12);
+            let data: Vec<f64> = (0..n * 2).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            let m = Matrix::from_rows(n, 2, data);
+            let fast = cluster_rows(&m, Linkage::Average);
+            let naive = naive_upgma(&m);
+            let fd: Vec<f64> = fast.merges.iter().map(|x| x.distance).collect();
+            let nd: Vec<f64> = naive;
+            for (a, b) in fd.iter().zip(&nd) {
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "merge distances differ: {fd:?} vs {nd:?}"
+                );
+            }
+        }
+    }
+
+    /// O(n³) reference UPGMA returning sorted merge distances.
+    fn naive_upgma(m: &Matrix) -> Vec<f64> {
+        let n = m.rows();
+        let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        let mut dists = Vec::new();
+        while clusters.len() > 1 {
+            let mut best = (0, 1, f64::INFINITY);
+            for i in 0..clusters.len() {
+                for j in (i + 1)..clusters.len() {
+                    // Average pairwise distance.
+                    let mut s = 0.0;
+                    for &x in &clusters[i] {
+                        for &y in &clusters[j] {
+                            s += psigene_linalg::vector::distance(m.row(x), m.row(y));
+                        }
+                    }
+                    let d = s / (clusters[i].len() * clusters[j].len()) as f64;
+                    if d < best.2 {
+                        best = (i, j, d);
+                    }
+                }
+            }
+            let (i, j, d) = best;
+            dists.push(d);
+            let b = clusters.remove(j);
+            clusters[i].extend(b);
+        }
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        dists
+    }
+}

@@ -1,0 +1,105 @@
+//! Cluster validity indices.
+//!
+//! The Davies–Bouldin index controls the fine-grained clustering
+//! phase of the Perdisci baseline (§III-F of the pSigene paper,
+//! referencing section 3 of Perdisci et al.). Lower is better.
+
+use psigene_linalg::vector::distance;
+use psigene_linalg::Matrix;
+
+/// Davies–Bouldin validity index of a flat clustering over dense
+/// rows. Returns `f64::INFINITY` when any two centroids coincide and
+/// 0.0 when there are fewer than two non-empty clusters.
+pub fn davies_bouldin(data: &Matrix, labels: &[usize]) -> f64 {
+    assert_eq!(data.rows(), labels.len(), "labels/rows mismatch");
+    let k = match labels.iter().max() {
+        Some(&m) => m + 1,
+        None => return 0.0,
+    };
+    // Centroids and intra-cluster scatter.
+    let mut counts = vec![0usize; k];
+    let mut centroids = vec![vec![0.0; data.cols()]; k];
+    for (r, &l) in labels.iter().enumerate() {
+        counts[l] += 1;
+        for (c, v) in data.row(r).iter().enumerate() {
+            centroids[l][c] += v;
+        }
+    }
+    for (cen, &n) in centroids.iter_mut().zip(&counts) {
+        if n > 0 {
+            for v in cen.iter_mut() {
+                *v /= n as f64;
+            }
+        }
+    }
+    let mut scatter = vec![0.0; k];
+    for (r, &l) in labels.iter().enumerate() {
+        scatter[l] += distance(data.row(r), &centroids[l]);
+    }
+    for (s, &n) in scatter.iter_mut().zip(&counts) {
+        if n > 0 {
+            *s /= n as f64;
+        }
+    }
+    let live: Vec<usize> = (0..k).filter(|&i| counts[i] > 0).collect();
+    if live.len() < 2 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    for &i in &live {
+        let mut worst: f64 = 0.0;
+        for &j in &live {
+            if i == j {
+                continue;
+            }
+            let d = distance(&centroids[i], &centroids[j]);
+            let r = if d == 0.0 {
+                f64::INFINITY
+            } else {
+                (scatter[i] + scatter[j]) / d
+            };
+            worst = worst.max(r);
+        }
+        sum += worst;
+    }
+    sum / live.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_separated_beats_poorly_separated() {
+        // Two tight blobs far apart...
+        let good = Matrix::from_rows(
+            6,
+            1,
+            vec![0.0, 0.1, 0.2, 100.0, 100.1, 100.2],
+        );
+        // ...vs the same blobs close together.
+        let bad = Matrix::from_rows(6, 1, vec![0.0, 0.1, 0.2, 0.5, 0.6, 0.7]);
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        assert!(davies_bouldin(&good, &labels) < davies_bouldin(&bad, &labels));
+    }
+
+    #[test]
+    fn single_cluster_is_zero() {
+        let m = Matrix::from_rows(3, 1, vec![1.0, 2.0, 3.0]);
+        assert_eq!(davies_bouldin(&m, &[0, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn coincident_centroids_are_infinite() {
+        let m = Matrix::from_rows(4, 1, vec![0.0, 2.0, 0.0, 2.0]);
+        // Both clusters have centroid 1.0.
+        assert_eq!(davies_bouldin(&m, &[0, 0, 1, 1]), f64::INFINITY);
+    }
+
+    #[test]
+    fn perfect_clusters_score_near_zero() {
+        let m = Matrix::from_rows(4, 1, vec![0.0, 0.0, 9.0, 9.0]);
+        let db = davies_bouldin(&m, &[0, 0, 1, 1]);
+        assert!(db < 1e-9, "got {db}");
+    }
+}

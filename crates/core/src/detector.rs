@@ -1,0 +1,129 @@
+//! pSigene as a [`DetectionEngine`]: the operational (test) phase of
+//! §II-D.
+
+use crate::pipeline::Psigene;
+use psigene_features::extract::extract_dense;
+use psigene_http::HttpRequest;
+use psigene_rulesets::{Detection, DetectionEngine};
+
+impl Psigene {
+    /// Feature values of a request over the pruned feature set —
+    /// one `count_all` per feature, as the paper's Bro
+    /// implementation does (§III-C).
+    pub fn features_of(&self, request: &HttpRequest) -> Vec<f64> {
+        let mut f = extract_dense(&self.feature_set, request.detection_payload());
+        if self.binary {
+            for v in &mut f {
+                *v = if *v > 0.0 { 1.0 } else { 0.0 };
+            }
+        }
+        f
+    }
+
+    /// Per-signature probabilities for a request, as `(signature id,
+    /// probability)` pairs.
+    pub fn probabilities(&self, request: &HttpRequest) -> Vec<(usize, f64)> {
+        let f = self.features_of(request);
+        self.signatures
+            .iter()
+            .map(|s| (s.id, s.probability(&f)))
+            .collect()
+    }
+
+    /// The decision threshold currently in force.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl DetectionEngine for Psigene {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn evaluate(&self, request: &HttpRequest) -> Detection {
+        let f = self.features_of(request);
+        let mut matched = Vec::new();
+        let mut best = 0.0f64;
+        for s in &self.signatures {
+            let p = s.probability(&f);
+            if p > best {
+                best = p;
+            }
+            if p >= s.threshold {
+                matched.push(s.id as u32);
+            }
+        }
+        Detection {
+            flagged: !matched.is_empty(),
+            matched_rules: matched,
+            score: best,
+        }
+    }
+
+    fn rule_count(&self) -> usize {
+        self.signatures.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+
+    fn trained() -> Psigene {
+        Psigene::train(&PipelineConfig {
+            crawl_samples: 300,
+            benign_train: 1200,
+            cluster_sample_cap: 300,
+            threads: 2,
+            ..PipelineConfig::default()
+        })
+    }
+
+    #[test]
+    fn flags_classic_attacks_and_passes_benign() {
+        let p = trained();
+        let attacks = [
+            "id=-1+union+select+1,2,concat(version(),0x3a,user()),4--+-",
+            "id=1'+or+'1'='1",
+            "id=1+and+sleep(5)--",
+        ];
+        let mut caught = 0;
+        for a in attacks {
+            let req = HttpRequest::get("v", "/x.php", a);
+            if p.evaluate(&req).flagged {
+                caught += 1;
+            }
+        }
+        assert!(caught >= 2, "caught only {caught}/3 classic attacks");
+        let benign = ["page=2&sort=asc", "q=summer+housing", "uid=1920&dept=ce"];
+        for b in benign {
+            let req = HttpRequest::get("w", "/index.php", b);
+            assert!(!p.evaluate(&req).flagged, "false positive on {b}");
+        }
+    }
+
+    #[test]
+    fn probabilities_are_valid_and_score_is_max() {
+        let p = trained();
+        let req = HttpRequest::get("v", "/x.php", "id=1+union+select+null,null--");
+        let probs = p.probabilities(&req);
+        assert_eq!(probs.len(), p.signatures().len());
+        assert!(probs.iter().all(|&(_, v)| (0.0..=1.0).contains(&v)));
+        let d = p.evaluate(&req);
+        let max = probs.iter().map(|&(_, v)| v).fold(0.0, f64::max);
+        assert!((d.score - max).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_sweep_changes_flagging() {
+        let p = trained();
+        let req = HttpRequest::get("v", "/x.php", "id=1+union+select+null,null--");
+        let lax = p.with_threshold(0.999_999);
+        let strict = p.with_threshold(1e-9);
+        assert!(strict.evaluate(&req).flagged);
+        // At an impossible threshold nothing is flagged.
+        assert!(!lax.with_threshold(1.01).evaluate(&req).flagged);
+    }
+}

@@ -1,0 +1,169 @@
+//! Incremental learning (Experiment 2, §III-E).
+//!
+//! "We progressively added some attack samples from the test dataset
+//! into the training dataset ... the incremental training is also an
+//! automatic process and therefore, we are spared the tedium of
+//! manually updating prior signatures."
+//!
+//! New samples are assigned to existing biclusters by nearest
+//! centroid (within the cluster's assignment radius) and each
+//! affected signature's Θ is refitted on the enlarged sample set.
+//! Clustering itself is *not* redone — matching the paper, which
+//! re-learns Θ only.
+
+use crate::pipeline::{fit_signature, row_centroid_distance, Psigene};
+use psigene_corpus::Dataset;
+use psigene_features::extract::extract_matrix;
+
+/// Statistics from one incremental update.
+#[derive(Debug, Clone, Default)]
+pub struct UpdateStats {
+    /// Samples offered.
+    pub offered: usize,
+    /// Samples assigned to some bicluster (and trained on).
+    pub assigned: usize,
+    /// Samples too far from every centroid (ignored as noise).
+    pub unassigned: usize,
+    /// Signatures whose Θ was refitted.
+    pub retrained_signatures: usize,
+}
+
+impl Psigene {
+    /// Returns a new system whose signatures were retrained with the
+    /// additional attack samples folded in.
+    pub fn retrain_with(&self, new_attacks: &Dataset, threads: usize) -> (Psigene, UpdateStats) {
+        let mut out = self.clone();
+        let mut stats = UpdateStats {
+            offered: new_attacks.len(),
+            ..UpdateStats::default()
+        };
+        if new_attacks.is_empty() || self.signatures.is_empty() {
+            return (out, stats);
+        }
+        let payloads: Vec<&[u8]> = new_attacks
+            .samples
+            .iter()
+            .map(|s| s.request.detection_payload())
+            .collect();
+        let m = extract_matrix(&self.feature_set, &payloads, threads.max(1));
+
+        // Assign each new sample to the signature whose *feature
+        // subset* represents it best. A bicluster is defined by its
+        // features (§II-C); a sample whose active features fall
+        // outside F_j is invisible to signature j's hypothesis no
+        // matter how Θ_j is refit, so feature overlap — not raw
+        // centroid distance — decides where a fresh sample can
+        // actually teach something. Centroid distance breaks ties.
+        let mut touched = vec![false; out.signatures.len()];
+        for r in 0..m.rows() {
+            let active: Vec<usize> = m.row(r).map(|(c, _)| c).collect();
+            if active.is_empty() {
+                stats.unassigned += 1;
+                continue;
+            }
+            let mut best: Option<usize> = None;
+            let mut best_key = (0usize, f64::INFINITY);
+            for (i, sig) in out.signatures.iter().enumerate() {
+                let overlap = active
+                    .iter()
+                    .filter(|c| sig.feature_indices.contains(c))
+                    .count();
+                if overlap == 0 {
+                    continue;
+                }
+                let d = row_centroid_distance(&m, r, &out.state.centroids[i]);
+                if overlap > best_key.0 || (overlap == best_key.0 && d < best_key.1) {
+                    best_key = (overlap, d);
+                    best = Some(i);
+                }
+            }
+            match best {
+                Some(i) => {
+                    out.state.attack_rows[i].push(m.row(r).collect());
+                    touched[i] = true;
+                    stats.assigned += 1;
+                }
+                None => stats.unassigned += 1,
+            }
+        }
+
+        // Refit Θ for every touched signature on its enlarged sample
+        // set.
+        for (i, was_touched) in touched.iter().enumerate() {
+            if !was_touched {
+                continue;
+            }
+            let old = &out.signatures[i];
+            let refit = fit_signature(
+                old.id,
+                &old.feature_indices,
+                &out.state.attack_rows[i],
+                &out.state.benign,
+                &out.state.train_opts,
+                old.threshold,
+            );
+            out.signatures[i] = refit;
+            stats.retrained_signatures += 1;
+        }
+        // Update centroids to reflect the enlarged membership.
+        for (i, rows) in out.state.attack_rows.iter().enumerate() {
+            let mut c = vec![0.0; out.feature_set.len()];
+            for row in rows {
+                for &(col, v) in row {
+                    c[col] += v;
+                }
+            }
+            let len = rows.len().max(1) as f64;
+            for v in &mut c {
+                *v /= len;
+            }
+            out.state.centroids[i] = c;
+        }
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use psigene_corpus::sqlmap::{self, SqlmapConfig};
+
+    #[test]
+    fn incremental_update_assigns_and_retrains() {
+        let p = Psigene::train(&PipelineConfig {
+            crawl_samples: 300,
+            benign_train: 1200,
+            cluster_sample_cap: 300,
+            threads: 2,
+            ..PipelineConfig::default()
+        });
+        let fresh = sqlmap::generate(&SqlmapConfig {
+            samples: 100,
+            ..SqlmapConfig::default()
+        });
+        let (updated, stats) = p.retrain_with(&fresh, 2);
+        assert_eq!(stats.offered, 100);
+        assert!(stats.assigned + stats.unassigned == 100);
+        assert!(stats.assigned > 10, "assigned only {}", stats.assigned);
+        assert!(stats.retrained_signatures > 0);
+        // Training sample counts grew.
+        let before: usize = p.signatures().iter().map(|s| s.training_samples).sum();
+        let after: usize = updated.signatures().iter().map(|s| s.training_samples).sum();
+        assert!(after > before);
+    }
+
+    #[test]
+    fn empty_update_is_identity() {
+        let p = Psigene::train(&PipelineConfig {
+            crawl_samples: 200,
+            benign_train: 800,
+            cluster_sample_cap: 200,
+            threads: 2,
+            ..PipelineConfig::default()
+        });
+        let (updated, stats) = p.retrain_with(&Dataset::new(), 2);
+        assert_eq!(stats.offered, 0);
+        assert_eq!(updated.signatures().len(), p.signatures().len());
+    }
+}

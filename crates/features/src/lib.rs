@@ -1,0 +1,70 @@
+//! The pSigene feature library (§II-B of the paper).
+//!
+//! Features are counting regexes over normalized payloads, drawn
+//! from the three sources of Table II:
+//!
+//! 1. [`reserved`] — MySQL reserved words;
+//! 2. [`fragments`] — IDS/WAF signatures deconstructed into logical
+//!    components (including the paper's own quoted fragments);
+//! 3. [`refdocs`] — cheat-sheet idioms from SQLi reference documents.
+//!
+//! [`FeatureSet::full`] is the analog of the paper's initial 477
+//! features; [`FeatureSet::prune_unobserved`] reproduces the pruning
+//! that took the paper to 159.
+//!
+//! # Example
+//!
+//! ```
+//! use psigene_features::{extract, FeatureSet};
+//!
+//! let set = FeatureSet::full();
+//! let row = extract::extract_row(&set, b"id=1+UNION+SELECT+password,2,3--");
+//! assert!(!row.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extract;
+pub mod feature;
+pub mod fragments;
+pub mod refdocs;
+pub mod reserved;
+pub mod set;
+pub mod sources;
+
+pub use feature::Feature;
+pub use set::FeatureSet;
+pub use sources::FeatureSource;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn extraction_never_panics_on_arbitrary_bytes(
+            payload in proptest::collection::vec(any::<u8>(), 0..200),
+        ) {
+            let set = FeatureSet::full();
+            let row = extract::extract_row(&set, &payload);
+            // Columns are valid and counts positive.
+            prop_assert!(row.iter().all(|&(c, v)| c < set.len() && v >= 1.0));
+        }
+
+        #[test]
+        fn dense_and_sparse_extraction_agree(
+            payload in "[ -~]{0,120}",
+        ) {
+            let set = FeatureSet::full();
+            let dense = extract::extract_dense(&set, payload.as_bytes());
+            let sparse = extract::extract_row(&set, payload.as_bytes());
+            for (c, v) in sparse {
+                prop_assert_eq!(dense[c], v);
+            }
+        }
+    }
+}

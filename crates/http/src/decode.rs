@@ -1,0 +1,136 @@
+//! Percent- and unicode-decoding of request payloads.
+//!
+//! Attackers routinely hide SQL tokens behind `%27`-style percent
+//! encoding, `%u0027`-style IIS unicode encoding, or doubled
+//! encodings. These decoders are deliberately forgiving: invalid
+//! escapes pass through unchanged, because a detector must never
+//! crash on hostile input.
+
+/// Decodes `%HH` percent escapes and `+`-as-space.
+///
+/// Invalid or truncated escapes are copied through verbatim.
+pub fn percent_decode(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len());
+    let mut i = 0;
+    while i < input.len() {
+        match input[i] {
+            b'%' if i + 2 < input.len() + 1 => {
+                match (hex(input.get(i + 1)), hex(input.get(i + 2))) {
+                    (Some(hi), Some(lo)) => {
+                        out.push(hi * 16 + lo);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Decodes `%uXXXX` IIS-style unicode escapes to ASCII where the code
+/// point is ASCII; non-ASCII code points decode to `?` so that the
+/// byte-level features still see a token boundary.
+pub fn unicode_decode(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len());
+    let mut i = 0;
+    while i < input.len() {
+        if input[i] == b'%'
+            && i + 5 < input.len()
+            && (input[i + 1] == b'u' || input[i + 1] == b'U')
+        {
+            let digits: Option<Vec<u8>> =
+                (2..6).map(|k| hex(input.get(i + k))).collect();
+            if let Some(d) = digits {
+                let cp =
+                    (d[0] as u32) << 12 | (d[1] as u32) << 8 | (d[2] as u32) << 4 | d[3] as u32;
+                if cp < 0x80 {
+                    out.push(cp as u8);
+                } else {
+                    out.push(b'?');
+                }
+                i += 6;
+                continue;
+            }
+        }
+        out.push(input[i]);
+        i += 1;
+    }
+    out
+}
+
+fn hex(b: Option<&u8>) -> Option<u8> {
+    match b? {
+        b @ b'0'..=b'9' => Some(b - b'0'),
+        b @ b'a'..=b'f' => Some(b - b'a' + 10),
+        b @ b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Percent-encodes bytes outside the unreserved set, for generators
+/// that need to emit encoded payloads.
+pub fn percent_encode(input: &[u8]) -> String {
+    let mut out = String::with_capacity(input.len() * 3);
+    for &b in input {
+        if b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'~') {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("%{b:02X}"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_percent_decoding() {
+        assert_eq!(percent_decode(b"a%27b"), b"a'b");
+        assert_eq!(percent_decode(b"%2527"), b"%27"); // single pass
+        assert_eq!(percent_decode(b"a+b"), b"a b");
+    }
+
+    #[test]
+    fn invalid_escapes_pass_through() {
+        assert_eq!(percent_decode(b"100%"), b"100%");
+        assert_eq!(percent_decode(b"%zz"), b"%zz");
+        assert_eq!(percent_decode(b"%2"), b"%2");
+    }
+
+    #[test]
+    fn unicode_decoding() {
+        assert_eq!(unicode_decode(b"%u0027"), b"'");
+        assert_eq!(unicode_decode(b"%U0041"), b"A");
+        // Non-ASCII code points degrade to a placeholder.
+        assert_eq!(unicode_decode(b"%u4e2d"), b"?");
+        // Truncated escapes pass through.
+        assert_eq!(unicode_decode(b"%u00"), b"%u00");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let payload = b"' OR 1=1 -- -";
+        let enc = percent_encode(payload);
+        assert_eq!(percent_decode(enc.as_bytes()), payload);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(percent_decode(b""), b"");
+        assert_eq!(unicode_decode(b""), b"");
+    }
+}

@@ -1,0 +1,78 @@
+//! HTTP request modeling, parsing, decoding and normalization for
+//! web-attack analysis.
+//!
+//! This crate is the transport substrate of the pSigene
+//! reproduction: it defines the [`HttpRequest`] every generator
+//! produces and every detection engine consumes, implements the
+//! query-string extraction rule of §II-A of the paper, and provides
+//! the five payload transformations (§II-A) applied before feature
+//! extraction.
+//!
+//! # Example
+//!
+//! ```
+//! use psigene_http::{HttpRequest, normalize};
+//!
+//! let req = HttpRequest::get(
+//!     "app.example", "/item.php",
+//!     "id=1%20UNION%20SELECT%20password%20FROM%20users",
+//! );
+//! let norm = normalize::normalize(req.detection_payload());
+//! assert_eq!(norm, b"id=1 union select password from users");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decode;
+pub mod normalize;
+pub mod parse;
+pub mod query;
+pub mod request;
+
+pub use parse::{parse_request, parse_url, split_target, ParseError};
+pub use query::parse_params;
+pub use request::{HttpRequest, Method, Param};
+
+#[cfg(test)]
+mod proptests {
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn percent_decode_never_panics(input in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = crate::decode::percent_decode(&input);
+            let _ = crate::decode::unicode_decode(&input);
+            let _ = crate::normalize::normalize(&input);
+        }
+
+        #[test]
+        fn decode_output_never_longer(input in proptest::collection::vec(any::<u8>(), 0..256)) {
+            prop_assert!(crate::decode::percent_decode(&input).len() <= input.len());
+            prop_assert!(crate::decode::unicode_decode(&input).len() <= input.len());
+        }
+
+        #[test]
+        fn encode_decode_roundtrip(input in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let enc = crate::decode::percent_encode(&input);
+            prop_assert_eq!(crate::decode::percent_decode(enc.as_bytes()), input);
+        }
+
+        #[test]
+        fn normalized_is_lowercase_and_single_spaced(input in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let n = crate::normalize::normalize(&input);
+            prop_assert!(!n.iter().any(|b| b.is_ascii_uppercase()));
+            prop_assert!(!n.windows(2).any(|w| w == b"  "));
+        }
+
+        #[test]
+        fn parse_request_never_panics(input in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = crate::parse::parse_request(&input);
+        }
+
+        #[test]
+        fn parse_params_never_panics(input in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = crate::query::parse_params(&input);
+        }
+    }
+}

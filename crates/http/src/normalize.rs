@@ -1,0 +1,137 @@
+//! The paper's five payload transformations (§II-A).
+//!
+//! > "Once the attack samples are collected, we use a set of 5
+//! > transformations, including uppercase → lowercase, URL encoding →
+//! > ascii characters, and unicode → ascii characters."
+//!
+//! The two transformations the paper leaves unnamed are implemented
+//! here as whitespace collapsing (tabs/newlines/multiple spaces → one
+//! space) and control-byte stripping — both standard normalizations
+//! in WAF preprocessing, needed so equivalent obfuscations land on
+//! identical feature footprints.
+
+use crate::decode::{percent_decode, unicode_decode};
+
+/// One normalization step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transformation {
+    /// `%uXXXX` → ASCII.
+    UnicodeToAscii,
+    /// `%HH`/`+` → ASCII.
+    UrlDecode,
+    /// ASCII uppercase → lowercase.
+    Lowercase,
+    /// Runs of whitespace → single space.
+    CollapseWhitespace,
+    /// Remove non-whitespace control bytes.
+    StripControls,
+}
+
+/// The standard pipeline, in application order. Unicode and URL
+/// decoding run before lowercasing so that encoded uppercase letters
+/// are folded too.
+pub const STANDARD_PIPELINE: [Transformation; 5] = [
+    Transformation::UnicodeToAscii,
+    Transformation::UrlDecode,
+    Transformation::Lowercase,
+    // Controls are stripped before whitespace collapsing so that a
+    // control byte sandwiched between spaces cannot leave a double
+    // space behind.
+    Transformation::StripControls,
+    Transformation::CollapseWhitespace,
+];
+
+/// Applies one transformation.
+pub fn apply(t: Transformation, input: &[u8]) -> Vec<u8> {
+    match t {
+        Transformation::UnicodeToAscii => unicode_decode(input),
+        Transformation::UrlDecode => percent_decode(input),
+        Transformation::Lowercase => input.iter().map(|b| b.to_ascii_lowercase()).collect(),
+        Transformation::CollapseWhitespace => {
+            let mut out = Vec::with_capacity(input.len());
+            let mut in_space = false;
+            for &b in input {
+                if b.is_ascii_whitespace() {
+                    if !in_space {
+                        out.push(b' ');
+                        in_space = true;
+                    }
+                } else {
+                    out.push(b);
+                    in_space = false;
+                }
+            }
+            out
+        }
+        Transformation::StripControls => input
+            .iter()
+            .copied()
+            .filter(|b| !b.is_ascii_control() || b.is_ascii_whitespace())
+            .collect(),
+    }
+}
+
+/// Applies the whole [`STANDARD_PIPELINE`].
+pub fn normalize(input: &[u8]) -> Vec<u8> {
+    STANDARD_PIPELINE
+        .iter()
+        .fold(input.to_vec(), |acc, &t| apply(t, &acc))
+}
+
+/// Normalizes and returns a `String`, replacing any non-UTF-8 bytes.
+/// Convenient for display and for generators that work with `&str`.
+pub fn normalize_lossy(input: &[u8]) -> String {
+    String::from_utf8_lossy(&normalize(input)).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_pipeline_decodes_and_folds() {
+        let raw = b"id=1%20UNION%20SELECT%20%27a%27";
+        assert_eq!(normalize(raw), b"id=1 union select 'a'");
+    }
+
+    #[test]
+    fn unicode_then_url() {
+        let raw = b"q=%u0055NION+SELECT";
+        assert_eq!(normalize(raw), b"q=union select");
+    }
+
+    #[test]
+    fn whitespace_collapsed() {
+        let raw = b"a\t\t b\n\nc";
+        assert_eq!(normalize(raw), b"a b c");
+    }
+
+    #[test]
+    fn controls_stripped() {
+        let raw = b"a\x00b\x07c";
+        assert_eq!(normalize(raw), b"abc");
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        // Re-normalizing normalized output must not change it further
+        // (single decode pass by design: %2527 -> %27 -> '). The fixed
+        // point is reached after at most the number of encoding layers.
+        let once = normalize(b"id=%27%20or%201=1");
+        assert_eq!(normalize(&once), once);
+    }
+
+    #[test]
+    fn equivalent_obfuscations_converge() {
+        let variants: &[&[u8]] = &[
+            b"1 UNION SELECT a",
+            b"1+union+select+a",
+            b"1%20UnIoN%20SeLeCt%20a",
+            b"1\tUNION\nSELECT a",
+        ];
+        let want = b"1 union select a".to_vec();
+        for v in variants {
+            assert_eq!(normalize(v), want, "variant {v:?}");
+        }
+    }
+}

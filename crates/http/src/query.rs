@@ -1,0 +1,80 @@
+//! Query-string parameter parsing.
+//!
+//! Perdisci-style clustering and several rulesets look at parameter
+//! *names* and *values* separately, so the split must survive hostile
+//! inputs (missing `=`, repeated `&`, embedded encodings).
+
+use crate::decode::percent_decode;
+use crate::request::Param;
+
+/// Parses `a=1&b=2`-style query strings or form bodies into
+/// percent-decoded parameters. Empty segments are skipped; a segment
+/// without `=` becomes a parameter with an empty value.
+pub fn parse_params(raw: &[u8]) -> Vec<Param> {
+    let mut out = Vec::new();
+    for seg in raw.split(|&b| b == b'&') {
+        if seg.is_empty() {
+            continue;
+        }
+        let (name, value) = match seg.iter().position(|&b| b == b'=') {
+            Some(i) => (&seg[..i], &seg[i + 1..]),
+            None => (seg, &[][..]),
+        };
+        out.push(Param {
+            name: String::from_utf8_lossy(&percent_decode(name)).into_owned(),
+            value: String::from_utf8_lossy(&percent_decode(value)).into_owned(),
+        });
+    }
+    out
+}
+
+/// Renders parameters back into a query string without re-encoding
+/// (used by generators that control their own encoding).
+pub fn render_params(params: &[(String, String)]) -> String {
+    params
+        .iter()
+        .map(|(n, v)| format!("{n}={v}"))
+        .collect::<Vec<_>>()
+        .join("&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_parse() {
+        let ps = parse_params(b"id=1&name=bob");
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].name, "id");
+        assert_eq!(ps[1].value, "bob");
+    }
+
+    #[test]
+    fn decoding_applied() {
+        let ps = parse_params(b"q=a%27+or+1%3D1");
+        assert_eq!(ps[0].value, "a' or 1=1");
+    }
+
+    #[test]
+    fn value_with_equals_kept_whole() {
+        let ps = parse_params(b"exp=1=1");
+        assert_eq!(ps[0].name, "exp");
+        assert_eq!(ps[0].value, "1=1");
+    }
+
+    #[test]
+    fn hostile_shapes() {
+        assert!(parse_params(b"").is_empty());
+        assert!(parse_params(b"&&&").is_empty());
+        let ps = parse_params(b"lonely");
+        assert_eq!(ps[0].name, "lonely");
+        assert_eq!(ps[0].value, "");
+    }
+
+    #[test]
+    fn render_roundtrip_unencoded() {
+        let params = vec![("a".to_string(), "1".to_string()), ("b".to_string(), "x y".to_string())];
+        assert_eq!(render_params(&params), "a=1&b=x y");
+    }
+}

@@ -1,0 +1,99 @@
+//! Logistic-regression signatures and detection metrics for pSigene.
+//!
+//! Implements §II-D of the paper: a signature is a logistic
+//! regression model `h_θ(F) = g(θᵀF)` over a bicluster's feature
+//! values, trained on the bicluster's attack samples plus benign
+//! traffic, with parameters found by Newton-CG whose inner solver is
+//! **preconditioned conjugate gradients** (the paper's PCG, [`pcg`]).
+//!
+//! # Example
+//!
+//! ```
+//! use psigene_learn::{train, TrainOptions};
+//! use psigene_linalg::Matrix;
+//!
+//! // One feature; positive iff it exceeds ~2.
+//! let x = Matrix::from_rows(6, 1, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+//! let y = [false, false, false, true, true, true];
+//! let fit = train(&x, &y, &TrainOptions::default());
+//! assert!(fit.model.predict_proba(&[5.0]) > 0.9);
+//! assert!(fit.model.predict_proba(&[0.0]) < 0.1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod logreg;
+pub mod metrics;
+pub mod pcg;
+pub mod roc;
+
+pub use logreg::{sigmoid, train, LogisticModel, TrainOptions, TrainResult};
+pub use metrics::ConfusionMatrix;
+pub use roc::{RocCurve, RocPoint};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use psigene_linalg::Matrix;
+
+    proptest! {
+        #[test]
+        fn sigmoid_is_bounded_and_monotone(z1 in -1e6f64..1e6, z2 in -1e6f64..1e6) {
+            let (a, b) = (sigmoid(z1), sigmoid(z2));
+            prop_assert!((0.0..=1.0).contains(&a));
+            if z1 < z2 {
+                prop_assert!(a <= b);
+            }
+        }
+
+        #[test]
+        fn predictions_are_probabilities(
+            weights in proptest::collection::vec(-5.0f64..5.0, 1..6),
+            x in proptest::collection::vec(-10.0f64..10.0, 6),
+            bias in -5.0f64..5.0,
+        ) {
+            let d = weights.len();
+            let model = LogisticModel { bias, weights };
+            let p = model.predict_proba(&x[..d]);
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+
+        #[test]
+        fn training_never_panics_on_degenerate_data(
+            n in 2usize..20,
+            seed in 0u64..1000,
+        ) {
+            // Low-rank / constant / duplicate rows.
+            let mut data = Vec::new();
+            let mut labels = Vec::new();
+            let mut v = seed as f64;
+            for i in 0..n {
+                v = (v * 1.3 + 1.0) % 5.0;
+                let constant = 1.0;
+                data.extend_from_slice(&[constant, v]);
+                labels.push(i % 2 == 0);
+            }
+            let x = Matrix::from_rows(n, 2, data);
+            let fit = train(&x, &labels, &TrainOptions::default());
+            prop_assert!(fit.final_loss.is_finite());
+            prop_assert!(fit.model.weights.iter().all(|w| w.is_finite()));
+        }
+
+        #[test]
+        fn auc_matches_tpr_fpr_construction(
+            scores in proptest::collection::vec(0.0f64..1.0, 4..60),
+            flips in proptest::collection::vec(any::<bool>(), 60),
+        ) {
+            let labels: Vec<bool> = scores
+                .iter()
+                .zip(&flips)
+                .map(|(s, f)| (*s > 0.5) ^ f)
+                .collect();
+            let roc = RocCurve::from_scores(&scores, &labels);
+            let auc = roc.auc();
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&auc));
+        }
+    }
+}

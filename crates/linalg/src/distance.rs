@@ -1,0 +1,93 @@
+//! Pairwise distances in condensed form.
+//!
+//! Hierarchical clustering consumes a condensed upper-triangular
+//! distance matrix: for `n` points, entry `(i, j)` with `i < j` lives
+//! at index `condensed_index(n, i, j)` of a `n·(n−1)/2` vector.
+
+use crate::dense::Matrix;
+use crate::sparse::CsrMatrix;
+use crate::vector::distance;
+
+/// Index of pair `(i, j)` (`i < j`) in a condensed distance vector of
+/// `n` points.
+///
+/// # Panics
+/// Panics when `i >= j` or `j >= n`.
+pub fn condensed_index(n: usize, i: usize, j: usize) -> usize {
+    assert!(i < j && j < n, "invalid condensed pair ({i}, {j}) of {n}");
+    // Offset of row i: sum_{k<i} (n-1-k) = i*n - i*(i+1)/2 - i ... derived:
+    i * n - i * (i + 1) / 2 + (j - i - 1)
+}
+
+/// Number of entries in a condensed matrix of `n` points.
+pub fn condensed_len(n: usize) -> usize {
+    n * (n - 1) / 2
+}
+
+/// Condensed Euclidean pairwise distances of dense rows.
+pub fn pairwise_euclidean(m: &Matrix) -> Vec<f64> {
+    let n = m.rows();
+    let mut out = Vec::with_capacity(condensed_len(n.max(1)));
+    for i in 0..n {
+        for j in (i + 1)..n {
+            out.push(distance(m.row(i), m.row(j)));
+        }
+    }
+    out
+}
+
+/// Condensed Euclidean pairwise distances of sparse rows; runs in
+/// O(nnz) per pair rather than O(cols).
+pub fn pairwise_euclidean_sparse(m: &CsrMatrix) -> Vec<f64> {
+    let n = m.rows();
+    let mut out = Vec::with_capacity(condensed_len(n.max(1)));
+    for i in 0..n {
+        for j in (i + 1)..n {
+            out.push(m.row_distance_sq(i, j).sqrt());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::CsrBuilder;
+
+    #[test]
+    fn condensed_indexing_covers_all_pairs() {
+        let n = 6;
+        let mut seen = vec![false; condensed_len(n)];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let k = condensed_index(n, i, j);
+                assert!(!seen[k], "index {k} hit twice");
+                seen[k] = true;
+            }
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn dense_and_sparse_agree() {
+        let d = Matrix::from_rows(3, 3, vec![1., 0., 0., 0., 2., 0., 0., 0., 2.]);
+        let mut b = CsrBuilder::new(3);
+        for r in 0..3 {
+            b.push_dense_row(d.row(r));
+        }
+        let s = b.build();
+        let dd = pairwise_euclidean(&d);
+        let ds = pairwise_euclidean_sparse(&s);
+        for (a, b) in dd.iter().zip(&ds) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        // d(0,1) = sqrt(1+4) = sqrt(5)
+        assert!((dd[condensed_index(3, 0, 1)] - 5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid condensed pair")]
+    fn diagonal_is_invalid() {
+        let _ = condensed_index(4, 2, 2);
+    }
+}

@@ -1,0 +1,94 @@
+//! Dense and sparse matrices, statistics and distances for the
+//! pSigene pipeline.
+//!
+//! This crate is dependency-light numerical plumbing: a row-major
+//! dense [`Matrix`], a CSR [`CsrMatrix`] for the ~85 %-zero
+//! sample×feature matrix, vector kernels, column standardization for
+//! the heat map of §II-C, and condensed pairwise distances consumed
+//! by hierarchical clustering.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod distance;
+pub mod sparse;
+pub mod stats;
+pub mod vector;
+
+pub use dense::Matrix;
+pub use sparse::{CsrBuilder, CsrMatrix};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_matrix() -> impl Strategy<Value = Matrix> {
+        (1usize..8, 1usize..8).prop_flat_map(|(r, c)| {
+            proptest::collection::vec(-100.0f64..100.0, r * c)
+                .prop_map(move |data| Matrix::from_rows(r, c, data))
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn matvec_t_is_adjoint(m in small_matrix()) {
+            // <Ax, y> == <x, A^T y> for random x, y of ones.
+            let x = vec![1.0; m.cols()];
+            let y = vec![1.0; m.rows()];
+            let ax = m.matvec(&x);
+            let aty = m.matvec_t(&y);
+            let lhs: f64 = ax.iter().sum();
+            let rhs: f64 = aty.iter().sum();
+            prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + lhs.abs()));
+        }
+
+        #[test]
+        fn distance_is_a_metric(
+            a in proptest::collection::vec(-50.0f64..50.0, 1..8),
+        ) {
+            prop_assert_eq!(vector::distance(&a, &a), 0.0);
+        }
+
+        #[test]
+        fn triangle_inequality(
+            n in 1usize..6,
+            data in proptest::collection::vec(-10.0f64..10.0, 18),
+        ) {
+            let a = &data[0..n];
+            let b = &data[6..6 + n];
+            let c = &data[12..12 + n];
+            let ab = vector::distance(a, b);
+            let bc = vector::distance(b, c);
+            let ac = vector::distance(a, c);
+            prop_assert!(ac <= ab + bc + 1e-9);
+        }
+
+        #[test]
+        fn standardized_columns_have_unit_std(m in small_matrix()) {
+            let s = stats::standardize_columns(&m);
+            for c in 0..s.cols() {
+                let col = s.col(c);
+                let sd = stats::std_dev(&col);
+                // Either the column was constant (all zeros now) or unit std.
+                prop_assert!(sd.abs() < 1e-9 || (sd - 1.0).abs() < 1e-9);
+                prop_assert!(stats::mean(&col).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn csr_matches_dense_construction(m in small_matrix()) {
+            let mut b = CsrBuilder::new(m.cols());
+            for r in 0..m.rows() {
+                b.push_dense_row(m.row(r));
+            }
+            let s = b.build();
+            for r in 0..m.rows() {
+                for c in 0..m.cols() {
+                    prop_assert_eq!(s.get(r, c), m.get(r, c));
+                }
+            }
+        }
+    }
+}

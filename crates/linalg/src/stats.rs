@@ -1,0 +1,94 @@
+//! Column statistics and the heat-map standardization of §II-C.
+
+use crate::dense::Matrix;
+
+/// Mean of a slice; 0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population standard deviation; 0 for empty input.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Pearson correlation coefficient of two equal-length series.
+/// Returns 0 when either series has zero variance.
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson: length mismatch");
+    let (ma, mb) = (mean(a), mean(b));
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+/// Standardizes every column to zero mean / unit standard deviation,
+/// exactly as the paper prepares the heat map: "the mean is then
+/// subtracted from each value and the result divided by the standard
+/// deviation" (§II-C). Constant columns become all-zero.
+pub fn standardize_columns(m: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(m.rows(), m.cols());
+    for c in 0..m.cols() {
+        let col = m.col(c);
+        let mu = mean(&col);
+        let sd = std_dev(&col);
+        for r in 0..m.rows() {
+            let v = if sd == 0.0 { 0.0 } else { (m.get(r, c) - mu) / sd };
+            out.set(r, c, v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[]), 0.0);
+    }
+
+    #[test]
+    fn pearson_known_values() {
+        assert!((pearson(&[1., 2., 3.], &[2., 4., 6.]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1., 2., 3.], &[6., 4., 2.]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1., 1., 1.], &[1., 2., 3.]), 0.0);
+    }
+
+    #[test]
+    fn standardization_properties() {
+        let m = Matrix::from_rows(3, 2, vec![1., 5., 2., 5., 3., 5.]);
+        let s = standardize_columns(&m);
+        // Column 0 has mean 0 and unit std after standardization.
+        let col0 = s.col(0);
+        assert!(mean(&col0).abs() < 1e-12);
+        assert!((std_dev(&col0) - 1.0).abs() < 1e-12);
+        // Constant column 1 becomes zeros, not NaN.
+        assert!(s.col(1).iter().all(|v| *v == 0.0));
+    }
+}

@@ -1,0 +1,85 @@
+//! Small vector kernels used across the pipeline.
+
+/// Dot product.
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x`.
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm.
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two dense vectors.
+///
+/// # Panics
+/// Panics when lengths differ.
+pub fn distance_sq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance_sq: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance between two dense vectors.
+pub fn distance(a: &[f64], b: &[f64]) -> f64 {
+    distance_sq(a, b).sqrt()
+}
+
+/// Elementwise in-place scaling.
+pub fn scale(a: &mut [f64], alpha: f64) {
+    for v in a {
+        *v *= alpha;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1., 2.], &[3., 4.]), 11.0);
+        assert_eq!(norm2(&[3., 4.]), 5.0);
+        assert_eq!(norm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(distance_sq(&[0., 0.], &[3., 4.]), 25.0);
+        assert_eq!(distance(&[0., 0.], &[3., 4.]), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn scaling() {
+        let mut a = vec![1.0, -2.0];
+        scale(&mut a, -0.5);
+        assert_eq!(a, vec![-0.5, 1.0]);
+    }
+}

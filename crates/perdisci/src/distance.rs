@@ -1,0 +1,127 @@
+//! The fine-grained request distance (§III-F adaptation).
+//!
+//! "We used the same predefined weights (10 and 8) as in Perdisci,
+//! assigning them to the parameter values and names, respectively,
+//! and disregarded the method and path of a HTTP request."
+
+use crate::edit::normalized_levenshtein;
+use psigene_http::{parse_params, HttpRequest};
+
+/// Weight of the parameter-values component.
+pub const VALUE_WEIGHT: f64 = 10.0;
+/// Weight of the parameter-names component.
+pub const NAME_WEIGHT: f64 = 8.0;
+
+/// Preprocessed view of a request used by the clustering (computing
+/// it once per request avoids re-parsing inside the O(n²) loop).
+#[derive(Debug, Clone)]
+pub struct RequestProfile {
+    /// Sorted parameter names.
+    pub names: Vec<String>,
+    /// Concatenated parameter values, in order.
+    pub values: Vec<u8>,
+}
+
+impl RequestProfile {
+    /// Builds the profile of a request.
+    pub fn of(request: &HttpRequest) -> RequestProfile {
+        let params = parse_params(request.detection_payload());
+        let mut names: Vec<String> = params.iter().map(|p| p.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        let mut values = Vec::new();
+        for p in &params {
+            // Case-folded: surface case-mixing obfuscation must not
+            // dominate the distance (adaptation to our corpus; the
+            // token source is case-folded the same way).
+            values.extend(p.value.bytes().map(|b| b.to_ascii_lowercase()));
+            values.push(b'\x1f'); // unit separator between values
+        }
+        RequestProfile { names, values }
+    }
+}
+
+/// Distance in `[0, 1]`: weighted mix of normalized Levenshtein over
+/// values (10) and Jaccard distance over names (8).
+pub fn request_distance(a: &RequestProfile, b: &RequestProfile) -> f64 {
+    let dv = normalized_levenshtein(&a.values, &b.values);
+    let dn = jaccard_distance(&a.names, &b.names);
+    (VALUE_WEIGHT * dv + NAME_WEIGHT * dn) / (VALUE_WEIGHT + NAME_WEIGHT)
+}
+
+fn jaccard_distance(a: &[String], b: &[String]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    // Both inputs are sorted and deduped.
+    let mut i = 0;
+    let mut j = 0;
+    let mut inter = 0usize;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    1.0 - inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(q: &str) -> RequestProfile {
+        RequestProfile::of(&HttpRequest::get("h", "/p", q))
+    }
+
+    #[test]
+    fn identical_requests_distance_zero() {
+        let a = req("id=1+union+select+2");
+        assert_eq!(request_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn same_params_different_values() {
+        let a = req("id=1");
+        let b = req("id=99999");
+        let d = request_distance(&a, &b);
+        // Names identical (dn = 0), values differ (dv > 0), so the
+        // distance is the value component scaled by 10/18.
+        assert!(d > 0.0 && d < VALUE_WEIGHT / (VALUE_WEIGHT + NAME_WEIGHT) + 1e-9);
+    }
+
+    #[test]
+    fn disjoint_params_maximal_name_distance() {
+        let a = req("id=1");
+        let b = req("user=1");
+        let d = request_distance(&a, &b);
+        assert!(d > NAME_WEIGHT / (VALUE_WEIGHT + NAME_WEIGHT) - 1e-9);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_bounded() {
+        let cases = ["id=1+union+select+2", "q=abc&x=1", "", "a=1&b=2&c=3"];
+        for x in cases {
+            for y in cases {
+                let (a, b) = (req(x), req(y));
+                let d1 = request_distance(&a, &b);
+                let d2 = request_distance(&b, &a);
+                assert!((d1 - d2).abs() < 1e-12);
+                assert!((0.0..=1.0).contains(&d1));
+            }
+        }
+    }
+
+    #[test]
+    fn path_and_method_are_ignored() {
+        let a = RequestProfile::of(&HttpRequest::get("h", "/x.php", "id=1"));
+        let b = RequestProfile::of(&HttpRequest::get("h", "/very/different/path", "id=1"));
+        assert_eq!(request_distance(&a, &b), 0.0);
+    }
+}

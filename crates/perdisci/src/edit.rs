@@ -1,0 +1,111 @@
+//! String distances for the behavioral clustering.
+
+/// Levenshtein distance, two-row DP.
+pub fn levenshtein(a: &[u8], b: &[u8]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = if ca == cb { 0 } else { 1 };
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein normalized to `[0, 1]` by the longer length.
+pub fn normalized_levenshtein(a: &[u8], b: &[u8]) -> f64 {
+    let max = a.len().max(b.len());
+    if max == 0 {
+        0.0
+    } else {
+        levenshtein(a, b) as f64 / max as f64
+    }
+}
+
+/// Longest common subsequence of two byte strings (the classic DP,
+/// reconstructing one witness).
+pub fn lcs(a: &[u8], b: &[u8]) -> Vec<u8> {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 || m == 0 {
+        return Vec::new();
+    }
+    let mut dp = vec![0u32; (n + 1) * (m + 1)];
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    for i in 1..=n {
+        for j in 1..=m {
+            dp[idx(i, j)] = if a[i - 1] == b[j - 1] {
+                dp[idx(i - 1, j - 1)] + 1
+            } else {
+                dp[idx(i - 1, j)].max(dp[idx(i, j - 1)])
+            };
+        }
+    }
+    let mut out = Vec::with_capacity(dp[idx(n, m)] as usize);
+    let (mut i, mut j) = (n, m);
+    while i > 0 && j > 0 {
+        if a[i - 1] == b[j - 1] {
+            out.push(a[i - 1]);
+            i -= 1;
+            j -= 1;
+        } else if dp[idx(i - 1, j)] >= dp[idx(i, j - 1)] {
+            i -= 1;
+        } else {
+            j -= 1;
+        }
+    }
+    out.reverse();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein(b"kitten", b"sitting"), 3);
+        assert_eq!(levenshtein(b"", b"abc"), 3);
+        assert_eq!(levenshtein(b"abc", b"abc"), 0);
+        assert_eq!(levenshtein(b"abc", b""), 3);
+    }
+
+    #[test]
+    fn normalization_bounds() {
+        assert_eq!(normalized_levenshtein(b"", b""), 0.0);
+        assert_eq!(normalized_levenshtein(b"abc", b"xyz"), 1.0);
+        let d = normalized_levenshtein(b"abcd", b"abce");
+        assert!((d - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lcs_known_cases() {
+        assert_eq!(lcs(b"abcde", b"ace"), b"ace");
+        assert_eq!(lcs(b"", b"abc"), b"");
+        assert_eq!(lcs(b"abc", b"abc"), b"abc");
+        assert_eq!(lcs(b"abc", b"xyz"), b"");
+    }
+
+    #[test]
+    fn lcs_is_subsequence_of_both() {
+        let a = b"id=1 union select 1,2,3";
+        let b = b"id=9 union select null,null";
+        let c = lcs(a, b);
+        assert!(is_subsequence(&c, a));
+        assert!(is_subsequence(&c, b));
+        assert!(!c.is_empty());
+    }
+
+    fn is_subsequence(needle: &[u8], hay: &[u8]) -> bool {
+        let mut it = hay.iter();
+        needle.iter().all(|n| it.any(|h| h == n))
+    }
+}

@@ -1,0 +1,171 @@
+//! Fine-grained clustering with Davies–Bouldin-guided cut selection.
+//!
+//! Perdisci et al. control the number of clusters with a cluster
+//! validity index; §III-F: "Controlling the clustering process by
+//! using the DB validity index, 145 clusters were produced during the
+//! fine-grained clustering phase." Our requests live in a distance
+//! space (not a vector space), so the DB index is computed in its
+//! distance-matrix form: intra-cluster scatter = mean pairwise
+//! distance within a cluster, separation = mean pairwise distance
+//! between clusters.
+
+use psigene_cluster::hac::cluster_condensed;
+use psigene_cluster::Linkage;
+use psigene_linalg::distance::{condensed_index, condensed_len};
+
+/// Result of the fine-grained phase.
+#[derive(Debug, Clone)]
+pub struct FineClusters {
+    /// Cluster label per input index.
+    pub labels: Vec<usize>,
+    /// Number of clusters.
+    pub k: usize,
+    /// The Davies–Bouldin value at the chosen cut.
+    pub db_index: f64,
+}
+
+/// Clusters by average-linkage HAC over a precomputed condensed
+/// distance vector, choosing the cut `k` (within `k_min..=k_max`)
+/// that minimizes the distance-space Davies–Bouldin index.
+///
+/// # Panics
+/// Panics when `cond.len()` does not match `n`.
+pub fn fine_grained(n: usize, cond: &[f64], k_min: usize, k_max: usize) -> FineClusters {
+    assert_eq!(cond.len(), condensed_len(n), "condensed length mismatch");
+    let mut work = cond.to_vec();
+    let dend = cluster_condensed(n, &mut work, Linkage::Average);
+    let k_max = k_max.min(n);
+    let k_min = k_min.clamp(1, k_max);
+    let mut best: Option<(usize, f64, Vec<usize>)> = None;
+    for k in k_min..=k_max {
+        let labels = dend.cut_k(k);
+        let db = distance_davies_bouldin(n, cond, &labels, k);
+        let better = match &best {
+            None => true,
+            Some((_, b, _)) => db < *b,
+        };
+        if better {
+            best = Some((k, db, labels));
+        }
+    }
+    let (k, db_index, labels) = best.expect("at least one cut evaluated");
+    FineClusters {
+        labels,
+        k,
+        db_index,
+    }
+}
+
+/// Distance-matrix Davies–Bouldin: lower is better. Singleton
+/// clusters get zero scatter.
+pub fn distance_davies_bouldin(n: usize, cond: &[f64], labels: &[usize], k: usize) -> f64 {
+    let d = |i: usize, j: usize| -> f64 {
+        if i == j {
+            0.0
+        } else {
+            let (a, b) = if i < j { (i, j) } else { (j, i) };
+            cond[condensed_index(n, a, b)]
+        }
+    };
+    let mut member: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &l) in labels.iter().enumerate() {
+        member[l].push(i);
+    }
+    let live: Vec<usize> = (0..k).filter(|&c| !member[c].is_empty()).collect();
+    if live.len() < 2 {
+        return f64::INFINITY;
+    }
+    // Intra-cluster scatter: mean pairwise distance.
+    let mut scatter = vec![0.0; k];
+    for &c in &live {
+        let m = &member[c];
+        if m.len() < 2 {
+            continue;
+        }
+        let mut s = 0.0;
+        let mut cnt = 0usize;
+        for x in 0..m.len() {
+            for y in (x + 1)..m.len() {
+                s += d(m[x], m[y]);
+                cnt += 1;
+            }
+        }
+        scatter[c] = s / cnt as f64;
+    }
+    // Separation: mean inter-cluster distance; DB = mean of worst
+    // (scatter_i + scatter_j) / separation_ij.
+    let mut total = 0.0;
+    for &i in &live {
+        let mut worst: f64 = 0.0;
+        for &j in &live {
+            if i == j {
+                continue;
+            }
+            let mut s = 0.0;
+            let mut cnt = 0usize;
+            for &x in &member[i] {
+                for &y in &member[j] {
+                    s += d(x, y);
+                    cnt += 1;
+                }
+            }
+            let sep = s / cnt.max(1) as f64;
+            let r = if sep == 0.0 {
+                f64::INFINITY
+            } else {
+                (scatter[i] + scatter[j]) / sep
+            };
+            worst = worst.max(r);
+        }
+        total += worst;
+    }
+    total / live.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three obvious groups on a line.
+    fn grouped_distances() -> (usize, Vec<f64>) {
+        let pts: Vec<f64> = vec![0.0, 0.1, 0.2, 5.0, 5.1, 5.2, 10.0, 10.1, 10.2];
+        let n = pts.len();
+        let mut cond = Vec::with_capacity(condensed_len(n));
+        for i in 0..n {
+            for j in (i + 1)..n {
+                cond.push((pts[i] - pts[j]).abs() / 10.2);
+            }
+        }
+        (n, cond)
+    }
+
+    #[test]
+    fn db_selects_the_natural_k() {
+        let (n, cond) = grouped_distances();
+        let fc = fine_grained(n, &cond, 2, 8);
+        assert_eq!(fc.k, 3, "DB chose k={} (db={})", fc.k, fc.db_index);
+        // Groups are contiguous triples.
+        assert_eq!(fc.labels[0], fc.labels[1]);
+        assert_eq!(fc.labels[3], fc.labels[4]);
+        assert_ne!(fc.labels[0], fc.labels[3]);
+    }
+
+    #[test]
+    fn db_index_prefers_correct_partition() {
+        let (n, cond) = grouped_distances();
+        let good = vec![0, 0, 0, 1, 1, 1, 2, 2, 2];
+        let bad = vec![0, 1, 2, 0, 1, 2, 0, 1, 2];
+        let db_good = distance_davies_bouldin(n, &cond, &good, 3);
+        let db_bad = distance_davies_bouldin(n, &cond, &bad, 3);
+        assert!(db_good < db_bad, "{db_good} !< {db_bad}");
+    }
+
+    #[test]
+    fn single_cluster_is_infinite() {
+        let (n, cond) = grouped_distances();
+        assert_eq!(
+            distance_davies_bouldin(n, &cond, &vec![0; n], 1),
+            f64::INFINITY
+        );
+    }
+}

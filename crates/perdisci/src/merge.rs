@@ -1,0 +1,125 @@
+//! Cluster-merging phase (phase 3 of §III-F).
+//!
+//! "To merge different clusters, we chose a threshold of 0.1 as this
+//! meant that two signatures would only be merged if they were nearly
+//! identical."
+
+use crate::tokens::TokenSignature;
+
+/// A cluster with its extracted signature.
+#[derive(Debug, Clone)]
+pub struct SignedCluster {
+    /// Indices of member samples (into the training payload list).
+    pub members: Vec<usize>,
+    /// The cluster's token-subsequence signature.
+    pub signature: TokenSignature,
+}
+
+/// Iteratively merges the closest signature pair while their distance
+/// is at most `threshold`, re-extracting the signature from the
+/// merged membership. Returns the final clusters.
+pub fn merge_clusters(
+    mut clusters: Vec<SignedCluster>,
+    payloads: &[Vec<u8>],
+    threshold: f64,
+    min_token_len: usize,
+) -> Vec<SignedCluster> {
+    loop {
+        // Find the closest pair.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                let d = clusters[i].signature.distance(&clusters[j].signature);
+                if best.map(|(_, _, bd)| d < bd).unwrap_or(true) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        let (i, j, d) = match best {
+            Some(b) => b,
+            None => break,
+        };
+        if d > threshold {
+            break;
+        }
+        // Merge j into i; recompute the signature from all members.
+        let merged_members: Vec<usize> = {
+            let mut m = clusters[i].members.clone();
+            m.extend_from_slice(&clusters[j].members);
+            m
+        };
+        let sample_refs: Vec<&[u8]> = merged_members
+            .iter()
+            .take(30)
+            .map(|&idx| payloads[idx].as_slice())
+            .collect();
+        match TokenSignature::from_samples(&sample_refs, min_token_len) {
+            Some(sig) => {
+                clusters[i] = SignedCluster {
+                    members: merged_members,
+                    signature: sig,
+                };
+                clusters.swap_remove(j);
+            }
+            None => {
+                // The merged cluster has no common invariant; treat
+                // the pair as unmergeable by nudging their distance
+                // out of range (drop the smaller cluster's candidacy
+                // by breaking — threshold pairs below this one would
+                // have been found first).
+                break;
+            }
+        }
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(members: Vec<usize>, token: &str) -> SignedCluster {
+        SignedCluster {
+            members,
+            signature: TokenSignature {
+                tokens: vec![token.as_bytes().to_vec()],
+            },
+        }
+    }
+
+    #[test]
+    fn near_identical_signatures_merge() {
+        let payloads: Vec<Vec<u8>> = vec![
+            b"id=1 union select 11".to_vec(),
+            b"id=2 union select 12".to_vec(),
+            b"id=3 union select 13".to_vec(),
+        ];
+        let clusters = vec![
+            cluster(vec![0, 1], " union select 1"),
+            cluster(vec![2], " union select 1"),
+        ];
+        let merged = merge_clusters(clusters, &payloads, 0.1, 4);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].members.len(), 3);
+    }
+
+    #[test]
+    fn distant_signatures_stay_apart() {
+        let payloads: Vec<Vec<u8>> = vec![
+            b"id=1 union select 1".to_vec(),
+            b"id=1; drop table users".to_vec(),
+        ];
+        let clusters = vec![
+            cluster(vec![0], "union select"),
+            cluster(vec![1], "drop table"),
+        ];
+        let merged = merge_clusters(clusters, &payloads, 0.1, 4);
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn empty_input_is_noop() {
+        let merged = merge_clusters(Vec::new(), &[], 0.1, 4);
+        assert!(merged.is_empty());
+    }
+}

@@ -1,0 +1,207 @@
+//! Token-subsequence signature extraction (Polygraph-style, as used
+//! by Perdisci et al. for the cluster signature step).
+
+use crate::edit::lcs;
+
+/// A token-subsequence signature: the payload matches when every
+/// token occurs, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TokenSignature {
+    /// Ordered tokens.
+    pub tokens: Vec<Vec<u8>>,
+}
+
+impl TokenSignature {
+    /// Extracts the signature of a sample cluster: the maximal runs
+    /// (length ≥ `min_token_len`) of the byte-level common
+    /// subsequence folded over all samples.
+    ///
+    /// Returns `None` for an empty cluster or when no token survives.
+    pub fn from_samples(samples: &[&[u8]], min_token_len: usize) -> Option<TokenSignature> {
+        let first = samples.first()?;
+        let mut common: Vec<u8> = first.to_vec();
+        for s in &samples[1..] {
+            common = lcs(&common, s);
+            if common.is_empty() {
+                return None;
+            }
+        }
+        // The common subsequence is not necessarily a substring of
+        // each sample; split it into maximal chunks that *are* common
+        // substrings of every sample.
+        let tokens = split_tokens(&common, samples, min_token_len);
+        let sig = TokenSignature { tokens };
+        if sig.tokens.is_empty() {
+            None
+        } else if samples.iter().all(|s| sig.matches(s)) {
+            Some(sig)
+        } else {
+            // In-order matching can fail even when each token occurs;
+            // fall back to the single longest token.
+            let longest = sig
+                .tokens
+                .iter()
+                .max_by_key(|t| t.len())
+                .cloned()
+                .expect("non-empty token list");
+            let fallback = TokenSignature {
+                tokens: vec![longest],
+            };
+            if samples.iter().all(|s| fallback.matches(s)) {
+                Some(fallback)
+            } else {
+                None
+            }
+        }
+    }
+
+    /// True when every token occurs in `payload` in order, without
+    /// overlap.
+    pub fn matches(&self, payload: &[u8]) -> bool {
+        let mut pos = 0usize;
+        for tok in &self.tokens {
+            match find_from(payload, tok, pos) {
+                Some(i) => pos = i + tok.len(),
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Total token bytes — the "signature length" used to discard
+    /// too-short signatures (the paper removes things like `?id=.*`).
+    pub fn total_len(&self) -> usize {
+        self.tokens.iter().map(Vec::len).sum()
+    }
+
+    /// Renders the signature as the `tok1.*tok2.*...` regex string
+    /// the paper describes.
+    pub fn to_regex_string(&self) -> String {
+        let mut out = String::new();
+        for (i, tok) in self.tokens.iter().enumerate() {
+            if i > 0 {
+                out.push_str(".*");
+            }
+            for &b in tok {
+                if b.is_ascii_alphanumeric() {
+                    out.push(b as char);
+                } else {
+                    out.push_str(&format!("\\x{b:02x}"));
+                }
+            }
+        }
+        out
+    }
+
+    /// Normalized distance between two signatures (edit distance of
+    /// their token concatenations) — the cluster-merging criterion.
+    pub fn distance(&self, other: &TokenSignature) -> f64 {
+        let a: Vec<u8> = self.tokens.concat();
+        let b: Vec<u8> = other.tokens.concat();
+        crate::edit::normalized_levenshtein(&a, &b)
+    }
+}
+
+/// Greedily grows tokens from the common subsequence: a token is
+/// extended byte by byte while the grown chunk is still a substring
+/// of every sample; when extension fails, the chunk is committed (if
+/// long enough) and a new one starts.
+fn split_tokens(common: &[u8], samples: &[&[u8]], min_len: usize) -> Vec<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<u8> = Vec::new();
+    for &b in common {
+        cur.push(b);
+        if !samples.iter().all(|s| contains(s, &cur)) {
+            cur.pop();
+            if cur.len() >= min_len {
+                out.push(std::mem::take(&mut cur));
+            } else {
+                cur.clear();
+            }
+            // A single subsequence byte is trivially a substring of
+            // every sample, so restarting always succeeds.
+            cur.push(b);
+        }
+    }
+    if cur.len() >= min_len {
+        out.push(cur);
+    }
+    out
+}
+
+fn contains(hay: &[u8], needle: &[u8]) -> bool {
+    find_from(hay, needle, 0).is_some()
+}
+
+fn find_from(hay: &[u8], needle: &[u8], from: usize) -> Option<usize> {
+    if needle.is_empty() {
+        return Some(from);
+    }
+    if from + needle.len() > hay.len() {
+        return None;
+    }
+    (from..=hay.len() - needle.len()).find(|&i| &hay[i..i + needle.len()] == needle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_common_invariant() {
+        let samples: Vec<&[u8]> = vec![
+            b"id=1 union select 1,2,3",
+            b"id=77 union select null,null",
+            b"id=9999 union select a,b",
+        ];
+        let sig = TokenSignature::from_samples(&samples, 4).expect("signature");
+        let joined: Vec<u8> = sig.tokens.concat();
+        let text = String::from_utf8_lossy(&joined);
+        assert!(text.contains("union select"), "{text}");
+        for s in &samples {
+            assert!(sig.matches(s));
+        }
+    }
+
+    #[test]
+    fn does_not_match_unrelated_payloads() {
+        let samples: Vec<&[u8]> = vec![b"id=1 union select 1", b"id=2 union select 2"];
+        let sig = TokenSignature::from_samples(&samples, 4).unwrap();
+        assert!(!sig.matches(b"page=2&sort=asc"));
+        assert!(!sig.matches(b"id=1 and sleep(5)"));
+    }
+
+    #[test]
+    fn empty_and_disjoint_clusters_yield_none() {
+        assert!(TokenSignature::from_samples(&[], 3).is_none());
+        let disjoint: Vec<&[u8]> = vec![b"aaaa", b"bbbb"];
+        assert!(TokenSignature::from_samples(&disjoint, 3).is_none());
+    }
+
+    #[test]
+    fn regex_rendering_escapes_metacharacters() {
+        let sig = TokenSignature {
+            tokens: vec![b"a(b".to_vec(), b"cd".to_vec()],
+        };
+        assert_eq!(sig.to_regex_string(), r"a\x28b.*cd");
+    }
+
+    #[test]
+    fn signature_distance_reflects_similarity() {
+        let a = TokenSignature { tokens: vec![b"union select".to_vec()] };
+        let b = TokenSignature { tokens: vec![b"union select".to_vec()] };
+        let c = TokenSignature { tokens: vec![b"drop table".to_vec()] };
+        assert_eq!(a.distance(&b), 0.0);
+        assert!(a.distance(&c) > 0.5);
+    }
+
+    #[test]
+    fn total_len_and_ordering() {
+        let sig = TokenSignature {
+            tokens: vec![b"abc".to_vec(), b"de".to_vec()],
+        };
+        assert_eq!(sig.total_len(), 5);
+        assert!(sig.matches(b"xxabcxxdexx"));
+        assert!(!sig.matches(b"xxdexxabcxx")); // order matters
+    }
+}

@@ -1,0 +1,384 @@
+//! A from-scratch, byte-level regular expression engine built for
+//! intrusion-detection workloads.
+//!
+//! The engine supports the pragmatic PCRE subset used by IDS and WAF
+//! signatures — literals, character classes, `.`, alternation,
+//! groups, greedy/lazy quantifiers, `^`/`$`, `\d`/`\s`/`\w` (and
+//! negations), `\xHH` escapes, and the inline flags `i` and `s` —
+//! and compiles patterns to a prioritized Pike VM that runs in time
+//! linear in the haystack, immune to backtracking blow-ups.
+//!
+//! Two features are specific to the IDS use case:
+//!
+//! * [`Regex::count_all`] counts non-overlapping matches, the
+//!   operation pSigene's feature extraction is built on (the paper
+//!   adds an equivalent `count_all()` to the Bro IDS).
+//! * A mandatory-literal prefilter skips the VM entirely for the
+//!   (very common) haystacks that cannot possibly match.
+//!
+//! # Example
+//!
+//! ```
+//! use psigene_regex::Regex;
+//!
+//! let re = Regex::builder()
+//!     .case_insensitive(true)
+//!     .build(r"union\s+(all\s+)?select")
+//!     .unwrap();
+//! assert!(re.is_match(b"id=1 UNION SELECT password FROM users"));
+//! assert_eq!(re.count_all(b"union select 1; UNION ALL SELECT 2"), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod classes;
+mod compiler;
+mod error;
+mod parser;
+mod prefilter;
+mod program;
+mod vm;
+
+pub use crate::classes::{ByteRange, ClassSet};
+pub use crate::error::{Error, ErrorKind};
+pub use crate::prefilter::Prefilter;
+pub use crate::vm::VmCache;
+
+use crate::program::Program;
+use crate::vm::Span;
+
+/// A successful match: byte offsets into the haystack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match {
+    start: usize,
+    end: usize,
+}
+
+impl Match {
+    /// Start offset (inclusive).
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// End offset (exclusive).
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// Length of the matched span in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True for zero-width matches.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The matched bytes of `hay`.
+    pub fn as_bytes<'h>(&self, hay: &'h [u8]) -> &'h [u8] {
+        &hay[self.start..self.end]
+    }
+}
+
+/// Configures and builds a [`Regex`].
+#[derive(Debug, Clone)]
+pub struct RegexBuilder {
+    case_insensitive: bool,
+    dot_matches_newline: bool,
+    size_limit: usize,
+    prefilter: bool,
+}
+
+impl Default for RegexBuilder {
+    fn default() -> RegexBuilder {
+        RegexBuilder {
+            case_insensitive: false,
+            dot_matches_newline: false,
+            size_limit: compiler::DEFAULT_SIZE_LIMIT,
+            prefilter: true,
+        }
+    }
+}
+
+impl RegexBuilder {
+    /// Creates a builder with default settings (case-sensitive,
+    /// `.` excludes `\n`, prefilter enabled).
+    pub fn new() -> RegexBuilder {
+        RegexBuilder::default()
+    }
+
+    /// Enables ASCII case-insensitive matching for the whole pattern.
+    pub fn case_insensitive(mut self, yes: bool) -> RegexBuilder {
+        self.case_insensitive = yes;
+        self
+    }
+
+    /// Makes `.` match `\n` as well.
+    pub fn dot_matches_newline(mut self, yes: bool) -> RegexBuilder {
+        self.dot_matches_newline = yes;
+        self
+    }
+
+    /// Caps the compiled program size (instructions). Counted
+    /// repetitions expand, so this bounds memory and compile time.
+    pub fn size_limit(mut self, limit: usize) -> RegexBuilder {
+        self.size_limit = limit;
+        self
+    }
+
+    /// Enables or disables the mandatory-literal prefilter.
+    pub fn prefilter(mut self, yes: bool) -> RegexBuilder {
+        self.prefilter = yes;
+        self
+    }
+
+    /// Compiles `pattern` with this configuration.
+    pub fn build(&self, pattern: &str) -> Result<Regex, Error> {
+        let flags = parser::Flags {
+            case_insensitive: self.case_insensitive,
+            dot_matches_newline: self.dot_matches_newline,
+        };
+        let ast = parser::parse(pattern, flags)?;
+        let prog = compiler::compile(&ast, self.size_limit)?;
+        let prefilter = if self.prefilter {
+            Prefilter::from_ast(&ast)
+        } else {
+            None
+        };
+        Ok(Regex {
+            pattern: pattern.to_string(),
+            prog,
+            prefilter,
+        })
+    }
+}
+
+/// A compiled regular expression.
+///
+/// Matching operates on `&[u8]` haystacks; IDS payloads are raw bytes
+/// and need no UTF-8 guarantees.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    prog: Program,
+    prefilter: Option<Prefilter>,
+}
+
+impl Regex {
+    /// Compiles `pattern` with default settings.
+    pub fn new(pattern: &str) -> Result<Regex, Error> {
+        RegexBuilder::new().build(pattern)
+    }
+
+    /// Returns a fresh [`RegexBuilder`].
+    pub fn builder() -> RegexBuilder {
+        RegexBuilder::new()
+    }
+
+    /// The original pattern text.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// The derived prefilter, if one exists.
+    pub fn prefilter(&self) -> Option<&Prefilter> {
+        self.prefilter.as_ref()
+    }
+
+    /// Number of compiled VM instructions (a size/complexity proxy).
+    pub fn program_len(&self) -> usize {
+        self.prog.len()
+    }
+
+    /// True when the pattern matches anywhere in `hay`.
+    pub fn is_match(&self, hay: &[u8]) -> bool {
+        self.find(hay).is_some()
+    }
+
+    /// Finds the leftmost match.
+    pub fn find(&self, hay: &[u8]) -> Option<Match> {
+        self.find_at(hay, 0)
+    }
+
+    /// Finds the leftmost match starting at or after `start`.
+    pub fn find_at(&self, hay: &[u8], start: usize) -> Option<Match> {
+        if start == 0 {
+            if let Some(pf) = &self.prefilter {
+                if !pf.maybe_matches(hay) {
+                    return None;
+                }
+            }
+        }
+        let mut cache = vm::VmCache::new();
+        self.find_at_with(hay, start, &mut cache)
+    }
+
+    /// Like [`Regex::find_at`] but reusing caller-provided scratch
+    /// space; use this in match loops.
+    pub fn find_at_with(
+        &self,
+        hay: &[u8],
+        start: usize,
+        cache: &mut vm::VmCache,
+    ) -> Option<Match> {
+        vm::find_at(&self.prog, hay, start, cache).map(|Span { start, end }| Match { start, end })
+    }
+
+    /// Iterates over non-overlapping matches, leftmost-first.
+    pub fn find_iter<'r, 'h>(&'r self, hay: &'h [u8]) -> Matches<'r, 'h> {
+        Matches {
+            re: self,
+            hay,
+            next_start: 0,
+            cache: vm::VmCache::new(),
+            prefilter_passed: self
+                .prefilter
+                .as_ref()
+                .map(|pf| pf.maybe_matches(hay))
+                .unwrap_or(true),
+        }
+    }
+
+    /// Counts non-overlapping matches in `hay`.
+    ///
+    /// This is the primitive pSigene features are built on: every
+    /// feature value is `count_all(feature_pattern, request)`.
+    pub fn count_all(&self, hay: &[u8]) -> usize {
+        self.find_iter(hay).count()
+    }
+}
+
+/// Iterator over non-overlapping matches.
+#[derive(Debug)]
+pub struct Matches<'r, 'h> {
+    re: &'r Regex,
+    hay: &'h [u8],
+    next_start: usize,
+    cache: vm::VmCache,
+    prefilter_passed: bool,
+}
+
+impl Iterator for Matches<'_, '_> {
+    type Item = Match;
+
+    fn next(&mut self) -> Option<Match> {
+        if !self.prefilter_passed || self.next_start > self.hay.len() {
+            return None;
+        }
+        let m = self
+            .re
+            .find_at_with(self.hay, self.next_start, &mut self.cache)?;
+        // Zero-width matches must still advance the scan position.
+        self.next_start = if m.end == m.start { m.end + 1 } else { m.end };
+        Some(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_all_non_overlapping() {
+        let re = Regex::new("aa").unwrap();
+        assert_eq!(re.count_all(b"aaaa"), 2);
+        assert_eq!(re.count_all(b"aaa"), 1);
+        assert_eq!(re.count_all(b""), 0);
+    }
+
+    #[test]
+    fn count_all_zero_width() {
+        let re = Regex::new("a*").unwrap();
+        // hay = a a b a: "aa" at 0..2, "" at 2..2, "a" at 3..4, "" at 4..4
+        // (same segmentation as Python's re.findall and the regex crate).
+        assert_eq!(re.count_all(b"aaba"), 4);
+    }
+
+    #[test]
+    fn case_insensitive_matching() {
+        let re = Regex::builder()
+            .case_insensitive(true)
+            .build("select")
+            .unwrap();
+        assert!(re.is_match(b"SeLeCt * from t"));
+        assert!(!re.is_match(b"selec"));
+    }
+
+    #[test]
+    fn inline_flag_matches_ids_style_rules() {
+        let re = Regex::new(r"(?i:union\s+select)").unwrap();
+        assert!(re.is_match(b"1 UNION SELECT 2"));
+    }
+
+    #[test]
+    fn find_iter_positions() {
+        let re = Regex::new(r"\d+").unwrap();
+        let spans: Vec<(usize, usize)> = re
+            .find_iter(b"a12b345c6")
+            .map(|m| (m.start(), m.end()))
+            .collect();
+        assert_eq!(spans, vec![(1, 3), (4, 7), (8, 9)]);
+    }
+
+    #[test]
+    fn real_world_sqli_signatures() {
+        // Patterns in the styles the paper catalogues (Tables II & III).
+        let cases: &[(&str, &[u8], bool)] = &[
+            (r"(?i)\)?;", b"abc); drop", true),
+            (r"(?i)in\s*?\(+\s*?select", b"WHERE x IN (SELECT y)", true),
+            (r"(?i)<=>|r?like|sounds\s+like|regex", b"1 SOUNDS LIKE 2", true),
+            (r"=[-0-9%]*", b"id=-15%", true),
+            (r"(?i)ch(a)?r\s*?\(\s*?\d", b"concat(char(58))", true),
+            (r"(?i)union\s+(all\s+)?select", b"1 union all select 2", true),
+            (r"(?i)union\s+(all\s+)?select", b"community selection", false),
+        ];
+        for (pat, hay, want) in cases {
+            let re = Regex::new(pat).unwrap();
+            assert_eq!(re.is_match(hay), *want, "pattern {pat:?} on {hay:?}");
+        }
+    }
+
+    #[test]
+    fn prefilter_does_not_change_results() {
+        let pat = r"(?i)select.+from";
+        let with = Regex::builder().prefilter(true).build(pat).unwrap();
+        let without = Regex::builder().prefilter(false).build(pat).unwrap();
+        let hays: &[&[u8]] = &[
+            b"SELECT a FROM b",
+            b"select from",
+            b"nothing",
+            b"selec t fro m",
+        ];
+        for hay in hays {
+            assert_eq!(with.is_match(hay), without.is_match(hay), "{hay:?}");
+            assert_eq!(with.count_all(hay), without.count_all(hay), "{hay:?}");
+        }
+    }
+
+    #[test]
+    fn match_accessors() {
+        let re = Regex::new("bc").unwrap();
+        let m = re.find(b"abcd").unwrap();
+        assert_eq!((m.start(), m.end(), m.len()), (1, 3, 2));
+        assert!(!m.is_empty());
+        assert_eq!(m.as_bytes(b"abcd"), b"bc");
+    }
+
+    #[test]
+    fn invalid_patterns_error() {
+        assert!(Regex::new("(a").is_err());
+        assert!(Regex::new("[z-a]").is_err());
+    }
+
+    #[test]
+    fn oversized_pattern_rejected() {
+        let err = Regex::builder()
+            .size_limit(64)
+            .build("(abcdefgh){100}")
+            .unwrap_err();
+        assert!(matches!(err.kind(), ErrorKind::ProgramTooBig { .. }));
+    }
+}

@@ -1,0 +1,303 @@
+//! Mandatory-literal prefilter.
+//!
+//! IDS workloads run hundreds of patterns over every request, and the
+//! overwhelming majority of requests match none of them. Before
+//! dispatching to the VM we extract, from the AST, a small set of
+//! literals such that *every* match must contain at least one of them.
+//! If none of the literals occurs in the haystack (ASCII
+//! case-insensitively), the VM run is skipped entirely.
+
+use crate::ast::Ast;
+
+/// Maximum number of alternative literals before we give up on
+/// prefiltering. Large sets (IDS keyword-inventory rules can require
+/// one of hundreds of function names) switch to a bucketed
+/// first-byte matcher, so the ceiling is generous.
+const MAX_LITERALS: usize = 400;
+
+/// Literal-set size above which the bucketed matcher is used instead
+/// of the linear scan.
+const BUCKETED_THRESHOLD: usize = 8;
+
+/// A disjunction of required literals: a haystack that contains none
+/// of them cannot match the pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prefilter {
+    /// Literals stored lowercased; matching is ASCII case-insensitive,
+    /// which is sound for both case-sensitive and case-insensitive
+    /// patterns (the prefilter is allowed false positives, never false
+    /// negatives).
+    literals: Vec<Vec<u8>>,
+    /// For large sets: literal indices bucketed by first byte, so one
+    /// pass over the haystack checks only the candidates that can
+    /// start at each position (a poor man's Aho–Corasick).
+    buckets: Option<Box<[Vec<u32>; 256]>>,
+}
+
+impl Prefilter {
+    /// Attempts to derive a prefilter from `ast`. Returns `None` when
+    /// no useful literal requirement exists (the VM must always run).
+    pub fn from_ast(ast: &Ast) -> Option<Prefilter> {
+        let lits = required_literals(ast)?;
+        // A prefilter of very short literals (all length 1) still pays
+        // off versus a VM run, so accept any non-empty requirement.
+        if lits.is_empty() || lits.len() > MAX_LITERALS {
+            return None;
+        }
+        let buckets = if lits.len() > BUCKETED_THRESHOLD {
+            let mut b: Box<[Vec<u32>; 256]> =
+                Box::new(std::array::from_fn(|_| Vec::new()));
+            for (i, lit) in lits.iter().enumerate() {
+                b[lit[0] as usize].push(i as u32);
+            }
+            Some(b)
+        } else {
+            None
+        };
+        Some(Prefilter {
+            literals: lits,
+            buckets,
+        })
+    }
+
+    /// True when the haystack may match the pattern (i.e. it contains
+    /// at least one required literal).
+    pub fn maybe_matches(&self, hay: &[u8]) -> bool {
+        match &self.buckets {
+            None => self.literals.iter().any(|lit| contains_ascii_ci(hay, lit)),
+            Some(buckets) => {
+                for (i, &b) in hay.iter().enumerate() {
+                    let rest = &hay[i..];
+                    for &li in &buckets[b.to_ascii_lowercase() as usize] {
+                        let lit = &self.literals[li as usize];
+                        if lit.len() <= rest.len()
+                            && rest[..lit.len()].eq_ignore_ascii_case(lit)
+                        {
+                            return true;
+                        }
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// The required literals (lowercased).
+    pub fn literals(&self) -> &[Vec<u8>] {
+        &self.literals
+    }
+
+    /// Length of the shortest required literal.
+    pub fn min_literal_len(&self) -> usize {
+        self.literals.iter().map(Vec::len).min().unwrap_or(0)
+    }
+}
+
+/// ASCII case-insensitive substring search; `needle` must already be
+/// lowercase.
+fn contains_ascii_ci(hay: &[u8], needle: &[u8]) -> bool {
+    if needle.is_empty() {
+        return true;
+    }
+    if needle.len() > hay.len() {
+        return false;
+    }
+    let first = needle[0];
+    'outer: for i in 0..=(hay.len() - needle.len()) {
+        if hay[i].to_ascii_lowercase() != first {
+            continue;
+        }
+        for (j, &n) in needle.iter().enumerate().skip(1) {
+            if hay[i + j].to_ascii_lowercase() != n {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+/// Computes the required-literal disjunction for `ast`, or `None` if
+/// no requirement can be derived.
+fn required_literals(ast: &Ast) -> Option<Vec<Vec<u8>>> {
+    match ast {
+        Ast::Empty
+        | Ast::StartText
+        | Ast::EndText
+        | Ast::WordBoundary
+        | Ast::NotWordBoundary
+        | Ast::Dot { .. } => None,
+        Ast::Literal(b) => Some(vec![vec![b.to_ascii_lowercase()]]),
+        Ast::Class(set) => {
+            // A class that is a single byte — or the case-folded pair
+            // of one ASCII letter — acts as a literal byte.
+            literal_byte_of_class(set).map(|b| vec![vec![b]])
+        }
+        Ast::Group(inner) => required_literals(inner),
+        Ast::Repeat { ast, min, .. } => {
+            if *min >= 1 {
+                required_literals(ast)
+            } else {
+                None
+            }
+        }
+        Ast::Alternate(branches) => {
+            let mut all = Vec::new();
+            for b in branches {
+                let mut lits = required_literals(b)?;
+                all.append(&mut lits);
+                if all.len() > MAX_LITERALS {
+                    return None;
+                }
+            }
+            Some(all)
+        }
+        Ast::Concat(parts) => {
+            // Best candidate: the longest contiguous literal run, or
+            // any single part's own requirement — whichever has the
+            // longest shortest-literal.
+            let mut best: Option<Vec<Vec<u8>>> = None;
+            let mut run: Vec<u8> = Vec::new();
+            let consider = |cand: Vec<Vec<u8>>, best: &mut Option<Vec<Vec<u8>>>| {
+                let cand_min = cand.iter().map(Vec::len).min().unwrap_or(0);
+                let best_min = best
+                    .as_ref()
+                    .map(|b| b.iter().map(Vec::len).min().unwrap_or(0))
+                    .unwrap_or(0);
+                // Prefer longer literals; break ties toward fewer
+                // alternatives.
+                let better = cand_min > best_min
+                    || (cand_min == best_min
+                        && best
+                            .as_ref()
+                            .map(|b| cand.len() < b.len())
+                            .unwrap_or(true));
+                if better && cand_min > 0 {
+                    *best = Some(cand);
+                }
+            };
+            for part in parts {
+                let lit = match part {
+                    Ast::Literal(b) => Some(b.to_ascii_lowercase()),
+                    Ast::Class(set) => literal_byte_of_class(set),
+                    Ast::Group(inner) => match inner.as_ref() {
+                        Ast::Literal(b) => Some(b.to_ascii_lowercase()),
+                        _ => None,
+                    },
+                    _ => None,
+                };
+                match lit {
+                    Some(b) => run.push(b),
+                    None => {
+                        if !run.is_empty() {
+                            consider(vec![std::mem::take(&mut run)], &mut best);
+                        }
+                        // Non-literal parts may still carry their own
+                        // requirement (e.g. a group of alternations).
+                        if let Some(sub) = required_literals(part) {
+                            consider(sub, &mut best);
+                        }
+                    }
+                }
+            }
+            if !run.is_empty() {
+                consider(vec![run], &mut best);
+            }
+            best
+        }
+    }
+}
+
+/// If the class matches exactly one byte — or exactly the upper/lower
+/// pair of one ASCII letter — returns the lowercase byte.
+fn literal_byte_of_class(set: &crate::classes::ClassSet) -> Option<u8> {
+    if let Some(b) = set.as_single_byte() {
+        return Some(b.to_ascii_lowercase());
+    }
+    let ranges = set.ranges();
+    if ranges.len() == 2
+        && ranges.iter().all(|r| r.lo == r.hi)
+        && ranges[0].lo.is_ascii_uppercase()
+        && ranges[1].lo == ranges[0].lo + 32
+    {
+        return Some(ranges[1].lo);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, Flags};
+
+    fn pf(pat: &str) -> Option<Prefilter> {
+        let flags = Flags::default();
+        Prefilter::from_ast(&parse(pat, flags).expect("parse"))
+    }
+
+    fn pf_ci(pat: &str) -> Option<Prefilter> {
+        let flags = Flags {
+            case_insensitive: true,
+            ..Flags::default()
+        };
+        Prefilter::from_ast(&parse(pat, flags).expect("parse"))
+    }
+
+    #[test]
+    fn literal_run_extracted() {
+        // Both runs are mandatory; the longer one is preferred.
+        let p = pf(r"union\s+select").expect("prefilter");
+        assert_eq!(p.literals(), &[b"select".to_vec()]);
+    }
+
+    #[test]
+    fn prefers_longest_run() {
+        let p = pf(r"or\s+sleep\s*\(").expect("prefilter");
+        assert_eq!(p.literals(), &[b"sleep".to_vec()]);
+    }
+
+    #[test]
+    fn alternation_unions_requirements() {
+        let p = pf("select|insert|delete").expect("prefilter");
+        assert_eq!(p.literals().len(), 3);
+        assert!(p.maybe_matches(b"xx INSERT xx"));
+        assert!(!p.maybe_matches(b"nothing here"));
+    }
+
+    #[test]
+    fn alternation_with_open_branch_disables() {
+        assert_eq!(pf("select|[0-9]+"), None);
+    }
+
+    #[test]
+    fn star_contributes_nothing() {
+        assert_eq!(pf(r"\w*"), None);
+        // But a mandatory tail still provides a literal.
+        let p = pf(r"\w*=true").expect("prefilter");
+        assert_eq!(p.literals(), &[b"=true".to_vec()]);
+    }
+
+    #[test]
+    fn case_insensitive_patterns_fold() {
+        let p = pf_ci("UNION").expect("prefilter");
+        assert_eq!(p.literals(), &[b"union".to_vec()]);
+        assert!(p.maybe_matches(b"UnIoN"));
+    }
+
+    #[test]
+    fn ci_search_is_sound_for_cs_patterns() {
+        // Case-sensitive pattern: prefilter may pass a non-matching
+        // haystack (false positive is fine), never block a matching one.
+        let p = pf("UNION").expect("prefilter");
+        assert!(p.maybe_matches(b"union all"));
+        assert!(p.maybe_matches(b"UNION all"));
+    }
+
+    #[test]
+    fn contains_ascii_ci_edges() {
+        assert!(contains_ascii_ci(b"abc", b"abc"));
+        assert!(contains_ascii_ci(b"xABCx", b"abc"));
+        assert!(!contains_ascii_ci(b"ab", b"abc"));
+        assert!(contains_ascii_ci(b"", b""));
+    }
+}

@@ -1,0 +1,198 @@
+//! Compiled program representation executed by the Pike VM.
+
+use crate::classes::ClassSet;
+use std::fmt;
+
+/// One VM instruction. Program counters are indices into
+/// [`Program::insts`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// Match one exact byte and advance.
+    Byte(u8),
+    /// Match one byte inside the indexed class and advance.
+    Class(u32),
+    /// Match any byte and advance.
+    Any,
+    /// Match any byte except `\n` and advance.
+    AnyNoNewline,
+    /// Fork execution; the first target has higher priority.
+    Split(u32, u32),
+    /// Unconditional jump.
+    Jmp(u32),
+    /// Assert the current position is the start of the haystack.
+    StartText,
+    /// Assert the current position is the end of the haystack.
+    EndText,
+    /// Assert a word/non-word boundary at the current position.
+    WordBoundary,
+    /// Assert the absence of a word boundary.
+    NotWordBoundary,
+    /// Report a match ending at the current position.
+    Match,
+}
+
+/// A compiled pattern: an instruction list plus a table of character
+/// classes referenced by [`Inst::Class`].
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// The instruction stream; execution starts at index 0.
+    pub insts: Vec<Inst>,
+    /// Character classes referenced by index.
+    pub classes: Vec<ClassSet>,
+    /// True when no instruction can match the empty haystack prefix
+    /// anchored anywhere (i.e. pattern can match the empty string).
+    pub matches_empty: bool,
+    /// Precomputed root-closure dispatch: for each possible first
+    /// byte, the successor pcs of the root closure's consuming
+    /// instructions, in priority order. `None` when the root closure
+    /// is position-dependent (anchors/boundaries) or can match empty.
+    pub root_plan: Option<RootPlan>,
+}
+
+/// Byte-indexed dispatch table for starting new match attempts.
+///
+/// For unanchored search the VM conceptually adds a fresh root thread
+/// at every haystack position; since the root epsilon-closure of a
+/// non-anchored, non-nullable pattern is position-independent, the
+/// set of threads that survive consuming byte `b` can be precomputed
+/// once. Huge alternations (IDS keyword-inventory rules with hundreds
+/// of branches) then cost only as many thread spawns per position as
+/// actually accept the current byte.
+#[derive(Debug, Clone)]
+pub struct RootPlan {
+    /// `by_byte[b]` = successor pcs (pc after the consuming
+    /// instruction) for root threads that accept byte `b`, in
+    /// priority order.
+    pub by_byte: Vec<Vec<u32>>,
+}
+
+impl Program {
+    /// Computes the root plan; call once after the instruction stream
+    /// is final. Leaves `root_plan` as `None` when the root closure
+    /// contains anchors, boundaries, or a `Match` (empty-capable).
+    pub fn compute_root_plan(&mut self) {
+        self.root_plan = None;
+        if self.insts.is_empty() {
+            return;
+        }
+        // Epsilon closure from pc 0 in priority (preorder) order.
+        let mut seen = vec![false; self.insts.len()];
+        let mut stack = vec![0u32];
+        let mut consuming: Vec<u32> = Vec::new();
+        while let Some(pc) = stack.pop() {
+            if seen[pc as usize] {
+                continue;
+            }
+            seen[pc as usize] = true;
+            match &self.insts[pc as usize] {
+                Inst::Jmp(t) => stack.push(*t),
+                Inst::Split(a, b) => {
+                    stack.push(*b);
+                    stack.push(*a);
+                }
+                // Position-dependent or empty-capable roots cannot be
+                // precomputed.
+                Inst::StartText
+                | Inst::EndText
+                | Inst::WordBoundary
+                | Inst::NotWordBoundary
+                | Inst::Match => return,
+                _ => consuming.push(pc),
+            }
+        }
+        let mut by_byte: Vec<Vec<u32>> = vec![Vec::new(); 256];
+        for &pc in &consuming {
+            match &self.insts[pc as usize] {
+                Inst::Byte(b) => by_byte[*b as usize].push(pc + 1),
+                Inst::Class(idx) => {
+                    for r in self.classes[*idx as usize].ranges() {
+                        for b in r.lo..=r.hi {
+                            by_byte[b as usize].push(pc + 1);
+                        }
+                    }
+                }
+                Inst::Any => {
+                    for bucket in by_byte.iter_mut() {
+                        bucket.push(pc + 1);
+                    }
+                }
+                Inst::AnyNoNewline => {
+                    for (b, bucket) in by_byte.iter_mut().enumerate() {
+                        if b != b'\n' as usize {
+                            bucket.push(pc + 1);
+                        }
+                    }
+                }
+                _ => unreachable!("non-consuming inst in consuming list"),
+            }
+        }
+        self.root_plan = Some(RootPlan { by_byte });
+    }
+}
+
+impl Program {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True for the trivial empty program.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Registers a class, reusing an identical existing entry.
+    pub fn intern_class(&mut self, set: ClassSet) -> u32 {
+        if let Some(i) = self.classes.iter().position(|c| *c == set) {
+            return i as u32;
+        }
+        self.classes.push(set);
+        (self.classes.len() - 1) as u32
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, inst) in self.insts.iter().enumerate() {
+            match inst {
+                Inst::Byte(b) => writeln!(f, "{i:04} byte  {:?}", *b as char)?,
+                Inst::Class(c) => writeln!(f, "{i:04} class #{c}")?,
+                Inst::Any => writeln!(f, "{i:04} any")?,
+                Inst::AnyNoNewline => writeln!(f, "{i:04} any-no-nl")?,
+                Inst::Split(a, b) => writeln!(f, "{i:04} split {a}, {b}")?,
+                Inst::Jmp(t) => writeln!(f, "{i:04} jmp   {t}")?,
+                Inst::StartText => writeln!(f, "{i:04} ^")?,
+                Inst::EndText => writeln!(f, "{i:04} $")?,
+                Inst::WordBoundary => writeln!(f, "{i:04} \\b")?,
+                Inst::NotWordBoundary => writeln!(f, "{i:04} \\B")?,
+                Inst::Match => writeln!(f, "{i:04} match")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_interning_dedupes() {
+        let mut p = Program::default();
+        let a = p.intern_class(ClassSet::single(b'a'));
+        let b = p.intern_class(ClassSet::single(b'b'));
+        let a2 = p.intern_class(ClassSet::single(b'a'));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(p.classes.len(), 2);
+    }
+
+    #[test]
+    fn display_is_line_per_inst() {
+        let mut p = Program::default();
+        p.insts.push(Inst::Byte(b'x'));
+        p.insts.push(Inst::Match);
+        let text = p.to_string();
+        assert_eq!(text.lines().count(), 2);
+    }
+}

@@ -1,0 +1,132 @@
+//! Differential tests: our engine vs. the `regex` crate (dev-only
+//! oracle). The `regex` crate uses leftmost-first semantics like ours,
+//! so `find` spans must agree on the supported pattern subset.
+
+use proptest::prelude::*;
+use psigene_regex::Regex as OurRegex;
+use regex::bytes::RegexBuilder as OracleBuilder;
+
+fn oracle(pat: &str, ci: bool) -> regex::bytes::Regex {
+    OracleBuilder::new(pat)
+        .unicode(false)
+        .case_insensitive(ci)
+        .build()
+        .expect("oracle compile")
+}
+
+fn ours(pat: &str, ci: bool) -> OurRegex {
+    OurRegex::builder()
+        .case_insensitive(ci)
+        .build(pat)
+        .expect("our compile")
+}
+
+fn check_agreement(pat: &str, ci: bool, hay: &[u8]) {
+    let a = ours(pat, ci);
+    let b = oracle(pat, ci);
+    let am = a.find(hay).map(|m| (m.start(), m.end()));
+    let bm = b.find(hay).map(|m| (m.start(), m.end()));
+    assert_eq!(am, bm, "pattern {pat:?} (ci={ci}) on {hay:?}");
+    let ac: Vec<_> = a.find_iter(hay).map(|m| (m.start(), m.end())).collect();
+    let bc: Vec<_> = b.find_iter(hay).map(|m| (m.start(), m.end())).collect();
+    assert_eq!(ac, bc, "find_iter for {pat:?} (ci={ci}) on {hay:?}");
+}
+
+/// Patterns representative of IDS signature styles.
+const PATTERNS: &[&str] = &[
+    r"union\s+select",
+    r"union\s+(all\s+)?select",
+    r"in\s*?\(+\s*?select",
+    r"\)?;",
+    r"=[-0-9%]*",
+    r"<=>|r?like|sounds\s+like|regex",
+    r"[?&][^\s\x00-\x37|]+?=",
+    r"ch(a)?r\s*?\(\s*?\d",
+    r"(\d+)\s*(union|or|and)\s*(\d+)",
+    r"'\s*or\s*'?\d",
+    r"--",
+    r"/\*.*\*/",
+    r"[a-z]+[0-9]{2,4}",
+    r"(abc|ab|a)+",
+    r"x*y+z?",
+    r"^select",
+    r"from$",
+    r"a{2,5}b{0,3}",
+    r"\w+\s*=\s*\w+",
+    r"[^a-z]+",
+    r"\bunion\b",
+    r"\bselect\b|\bfrom\b",
+    r"\B\d+",
+];
+
+#[test]
+fn fixed_patterns_on_crafted_haystacks() {
+    let hays: &[&[u8]] = &[
+        b"",
+        b"a",
+        b"id=1 union select 1,2,3",
+        b"id=1 UNION ALL SELECT null,null",
+        b"x' or '1'='1",
+        b"?q=hello&id=42",
+        b"select * from users where id in (select id from admins)",
+        b"/* comment */ --",
+        b"aaaaabbbbbccccc",
+        b"xyzzy xxyyzz",
+        b"char(58) CHAR ( 5 )",
+        b"===---%%%000",
+        b"\x00\x01\x02binary\xff",
+        b"sounds like rlike like regex <=>",
+    ];
+    for pat in PATTERNS {
+        for hay in hays {
+            check_agreement(pat, false, hay);
+            check_agreement(pat, true, hay);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn random_haystacks_agree(hay in proptest::collection::vec(any::<u8>(), 0..80)) {
+        for pat in PATTERNS {
+            check_agreement(pat, false, &hay);
+            check_agreement(pat, true, &hay);
+        }
+    }
+
+    #[test]
+    fn sql_like_haystacks_agree(
+        hay in "[ -~]{0,60}",
+    ) {
+        for pat in PATTERNS {
+            check_agreement(pat, false, hay.as_bytes());
+            check_agreement(pat, true, hay.as_bytes());
+        }
+    }
+
+    #[test]
+    fn random_simple_patterns_agree(
+        pat in r"[abc01]([abc01.]|\\d|\\s){0,8}",
+        hay in "[abc01 .x]{0,40}",
+    ) {
+        // Only test when both engines accept the pattern.
+        let ours_re = OurRegex::new(&pat);
+        let oracle_re = OracleBuilder::new(&pat).unicode(false).build();
+        if let (Ok(a), Ok(b)) = (ours_re, oracle_re) {
+            let am = a.find(hay.as_bytes()).map(|m| (m.start(), m.end()));
+            let bm = b.find(hay.as_bytes()).map(|m| (m.start(), m.end()));
+            prop_assert_eq!(am, bm, "pattern {:?} on {:?}", pat, hay);
+        }
+    }
+
+    #[test]
+    fn count_all_never_panics(
+        pat_idx in 0usize..PATTERNS.len(),
+        hay in proptest::collection::vec(any::<u8>(), 0..200),
+    ) {
+        let re = ours(PATTERNS[pat_idx], true);
+        let _ = re.count_all(&hay);
+    }
+}

@@ -1,0 +1,434 @@
+//! Snort + Emerging Threats style ruleset and engine.
+//!
+//! Characteristics reproduced from the paper's Table IV and §I:
+//! many *short*, *narrow* regexes (average length ~27 chars); a
+//! substantial share disabled by default (the paper: 61 % of Snort's
+//! 79 SQLi rules enabled); some content-only rules (82 % use regex);
+//! and an enormous auto-generated ET tail (4 231 rules, 99 % regex,
+//! 0 % enabled) of per-vulnerability signatures. The paper singles
+//! out `.+UNION\s+SELECT` as the canonical too-simple Snort regex —
+//! it is rule 1 here and, as in the paper's argument, it is one of
+//! the rules that fires on benign SQL-looking traffic.
+//!
+//! The engine percent-decodes the payload (Snort's `http_inspect`
+//! normalization) and alerts on the first matching rule.
+
+use crate::engine::{Detection, DetectionEngine};
+use crate::rule::{Rule, Severity};
+use psigene_http::decode::percent_decode;
+use psigene_http::HttpRequest;
+
+/// The curated Snort-style SQLi rules (79, mirroring Table IV's
+/// count; 61 % enabled).
+pub fn snort_rules() -> Vec<Rule> {
+    use Severity::*;
+    let mut rules = vec![
+        // The paper's canonical example of an overly simple rule.
+        Rule::regex(19001, "SQL union select", r".+union\s+select", Critical, true),
+        Rule::regex(19002, "SQL union all select", r".+union\s+all\s+select", Critical, true),
+        // The paper's near-duplicate pair 19439/19440 (same regex but
+        // the last character) is reproduced verbatim in spirit.
+        Rule::regex(19439, "SQL 1 = 1 probe", r"and\s+1\s*=\s*1", Warning, true),
+        Rule::regex(19440, "SQL 1 = 1 probe dash", r"and\s+1\s*=\s*1-", Warning, true),
+        Rule::regex(19003, "SQL or 1 = 1", r"or\s+1\s*=\s*1", Critical, true),
+        Rule::regex(19004, "SQL quote or", r"'\s*or\s+", Warning, true),
+        Rule::regex(19005, "SQL quote or quote", r"'\s*or\s*'", Critical, true),
+        Rule::regex(19006, "SQL sleep call", r"sleep\s*\(", Critical, true),
+        Rule::regex(19007, "SQL benchmark call", r"benchmark\s*\(", Critical, true),
+        Rule::regex(19008, "SQL extractvalue", r"extractvalue\s*\(", Critical, true),
+        Rule::regex(19009, "SQL updatexml", r"updatexml\s*\(", Critical, true),
+        Rule::regex(19010, "SQL information_schema", r"information_schema", Critical, true),
+        Rule::regex(19011, "SQL stacked drop", r";\s*drop\s+table", Critical, true),
+        Rule::regex(19012, "SQL stacked insert", r";\s*insert\s+into", Critical, true),
+        Rule::regex(19013, "SQL stacked update", r";\s*update\s+", Critical, true),
+        Rule::regex(19014, "SQL stacked delete", r";\s*delete\s+from", Critical, true),
+        Rule::regex(19015, "SQL stacked shutdown", r";\s*shutdown", Critical, true),
+        Rule::regex(19016, "SQL char function", r"char\s*\(\s*\d+", Critical, true),
+        Rule::regex(19017, "SQL order by probe", r"order\s+by\s+[0-9]", Warning, true),
+        Rule::regex(19018, "SQL substring probe", r"substring\s*\(", Warning, true),
+        Rule::regex(19019, "SQL ascii probe", r"ascii\s*\(", Warning, true),
+        Rule::regex(19020, "SQL load_file", r"load_file\s*\(", Critical, true),
+        Rule::regex(19021, "SQL into outfile", r"into\s+outfile", Critical, true),
+        Rule::regex(19022, "SQL into dumpfile", r"into\s+dumpfile", Critical, true),
+        Rule::regex(19023, "SQL select from", r"select.+from", Warning, true),
+        Rule::regex(19024, "SQL group_concat", r"group_concat\s*\(", Critical, true),
+        Rule::regex(19025, "SQL version probe", r"@@version", Warning, true),
+        Rule::regex(19026, "SQL comment dash dash", r"--\s*$", Notice, true),
+        Rule::regex(19027, "SQL waitfor delay", r"waitfor\s+delay", Critical, true),
+        Rule::regex(19028, "SQL procedure analyse", r"procedure\s+analyse", Warning, true),
+        Rule::regex(19029, "SQL admin quote comment", r"admin'\s*--", Critical, true),
+        Rule::regex(19030, "SQL hex 0x literal", r"=\s*0x[0-9a-f]{4,}", Warning, true),
+        Rule::regex(19031, "SQL concat 0x", r"concat\s*\(\s*0x", Warning, true),
+        Rule::regex(19032, "SQL having probe", r"having\s+[0-9]", Notice, true),
+        Rule::regex(19033, "SQL exec xp", r"exec\s+xp_", Critical, true),
+        Rule::regex(19034, "SQL double pipe concat", r"'\s*\|\|", Warning, true),
+        // Content-only rules (no pcre), as in real sql.rules.
+        Rule::content(19035, "SQL drop table content", &["drop", "table"], Critical, true),
+        Rule::content(19036, "SQL insert into content", &["insert", "into", "values"], Warning, true),
+        Rule::content(19037, "SQL xp_cmdshell content", &["xp_cmdshell"], Critical, true),
+        Rule::content(19038, "SQL utl_http content", &["utl_http"], Critical, true),
+        Rule::content(19039, "SQL dbms_ content", &["dbms_"], Warning, true),
+        Rule::content(19040, "SQL waitfor content", &["waitfor"], Warning, true),
+        Rule::content(19041, "SQL sp_password content", &["sp_password"], Critical, true),
+        Rule::content(19042, "SQL begin declare content", &["declare", "@"], Warning, true),
+        Rule::content(19045, "SQL sysobjects content", &["sysobjects"], Critical, true),
+        Rule::content(19046, "SQL syscolumns content", &["syscolumns"], Critical, true),
+        Rule::content(19047, "SQL openrowset content", &["openrowset"], Critical, true),
+        Rule::content(19048, "SQL mssql exec content", &["exec", "master"], Critical, true),
+    ];
+    // Disabled tail: overly specific or deprecated rules that ship
+    // commented out (the paper: 70 % of the full 20 000-rule Snort
+    // set is disabled; 39 % of its SQLi rules).
+    let disabled: &[(&str, &str)] = &[
+        ("SQL MSSQL sa login", r"login\s+sa"),
+        ("SQL ODBC error leak", r"\[microsoft\]\[odbc"),
+        ("SQL oracle ora- error", r"ora-[0-9]{4,5}"),
+        ("SQL mysql error leak", r"you have an error in your sql syntax"),
+        ("SQL generic equals quote", r"=\s*'"),
+        ("SQL generic semicolon", r";"),
+        ("SQL generic quote", r"'"),
+        ("SQL generic double dash", r"--"),
+        ("SQL pg_sleep", r"pg_sleep\s*\("),
+        ("SQL mssql waitfor time", r"waitfor\s+time"),
+        ("SQL sybase syscomments", r"syscomments"),
+        ("SQL db2 sysibm", r"sysibm\."),
+        ("SQL xtype char probe", r"xtype\s*=\s*char"),
+        ("SQL is_srvrolemember", r"is_srvrolemember"),
+        ("SQL openquery", r"openquery\s*\("),
+        ("SQL sp_executesql", r"sp_executesql"),
+        ("SQL xp_regread", r"xp_regread"),
+        ("SQL mssql shutdown", r"shutdown\s+with\s+nowait"),
+        ("SQL bulk insert", r"bulk\s+insert"),
+        ("SQL select top probe", r"select\s+top\s+\d+"),
+        ("SQL convert int probe", r"convert\s*\(\s*int"),
+        ("SQL mssql charindex", r"charindex\s*\("),
+        ("SQL oracle rownum", r"rownum\s*<"),
+        ("SQL oracle dual", r"from\s+dual"),
+        ("SQL sqlite_master", r"sqlite_master"),
+        ("SQL postgres pg_catalog", r"pg_catalog"),
+        ("SQL generic percent27", r"%27"),
+        ("SQL generic percent20union", r"%20union%20"),
+        ("SQL unhex probe", r"unhex\s*\("),
+        ("SQL if mysql probe", r"if\s*\(\s*\d"),
+        ("SQL mid() probe", r"mid\s*\("),
+    ];
+    for (i, (name, pat)) in disabled.iter().enumerate() {
+        rules.push(Rule::regex(19100 + i as u32, name, pat, Severity::Notice, false));
+    }
+    rules
+}
+
+/// The auto-generated Emerging-Threats-style tail: per-vulnerability
+/// rules produced from advisory templates (real ET SQLi rules are
+/// largely per-CVE specific patterns). All disabled by default, ~99 %
+/// regex, and 4 231 strong to mirror Table IV.
+pub fn et_generated_rules() -> Vec<Rule> {
+    let params = [
+        "id", "catid", "cid", "pid", "uid", "item", "page", "cat", "article",
+        "product_id", "news_id", "topic", "tid", "sid", "image_id", "gallery",
+        "user", "userid", "aid", "mid", "story", "review", "file", "down",
+        "play", "album", "pic", "show", "ref", "key", "pm_id", "post",
+        "thread", "forum", "board", "msg", "event", "cal", "week", "month",
+        "vid", "video",
+    ];
+    let shells = [
+        r"union\s+select",
+        r"union\s+all\s+select",
+        r"'\s*or",
+        r"and\s+\d+=\d+",
+        r"or\s+\d+=\d+",
+        r"select\s+.*from",
+        r"insert\s+into",
+        r"delete\s+from",
+        r"update\s+.*set",
+        r"cast\s*\(",
+        r"convert\s*\(",
+        r"concat\s*\(",
+        r"extractvalue\s*\(",
+        r"information_schema",
+        r"char\s*\(",
+        r"order\s+by\s+\d+",
+        r"sleep\s*\(",
+        r"benchmark\s*\(",
+        r"load_file\s*\(",
+        r"@@version",
+        r"group_concat\s*\(",
+        r"0x[0-9a-f]{4,}",
+        r"having\s+\d+",
+        r"waitfor\s+delay",
+        r"';",
+        r"%27",
+        r"--\s",
+        r"/\*",
+        r"\|\|",
+        r"0=0",
+        r"1=1",
+        r"=\s*'[^']*'--",
+        r"\)\s*or\s*\(",
+        r"and\s+ascii\s*\(",
+        r"substring\s*\(",
+        r"mid\s*\(",
+        r"length\s*\(",
+        r"exists\s*\(",
+        r"min\s*\(",
+        r"max\s*\(",
+        r"count\s*\(",
+        r"floor\s*\(rand",
+        r"procedure\s+analyse",
+        r"into\s+outfile",
+        r"xp_cmdshell",
+        r"sp_password",
+        r"declare\s+@",
+        r"exec\s*\(",
+        r"truncate\s+table",
+        r"drop\s+table",
+        r"alter\s+table",
+        r"create\s+table",
+        r"grant\s+all",
+        r"revoke\s+all",
+        r"show\s+tables",
+        r"show\s+databases",
+        r"select\s+user\s*\(",
+        r"select\s+database\s*\(",
+        r"select\s+version\s*\(",
+        r"current_user",
+        r"session_user",
+        r"system_user",
+        r"schema\s*\(",
+        r"updatexml\s*\(",
+        r"extractvalue\s*\(1",
+        r"and\s+sleep",
+        r"or\s+sleep",
+        r"'\s*and\s*'",
+        r"\+union\+",
+        r"\+select\+",
+        r"\+and\+",
+        r"\+or\+",
+        r"%20union%20",
+        r"%20select%20",
+        r"%20and%20",
+        r"%20or%20",
+        r"0x3a",
+        r"0x7e",
+        r"char\(58\)",
+        r"unhex\(hex\(",
+        r"name_const\s*\(",
+        r"row\s*\(\d",
+        r"polygon\s*\(",
+        r"multipoint\s*\(",
+        r"geometrycollection\s*\(",
+        r"linestring\s*\(",
+        r"elt\s*\(",
+        r"make_set\s*\(",
+        r"ord\s*\(",
+        r"lpad\s*\(",
+        r"rpad\s*\(",
+        r"repeat\s*\(",
+        r"reverse\s*\(",
+        r"strcmp\s*\(",
+        r"field\s*\(",
+        r"find_in_set\s*\(",
+        r"locate\s*\(",
+        r"position\s*\(",
+        r"instr\s*\(",
+        r"hex\s*\(",
+        r"bin\s*\(",
+        r"oct\s*\(",
+        r"conv\s*\(",
+    ];
+    let mut rules = Vec::with_capacity(params.len() * shells.len());
+    let mut id = 2_000_000;
+    'outer: for shell in shells.iter() {
+        for param in params.iter() {
+            if rules.len() >= 4231 - 29 {
+                break 'outer;
+            }
+            rules.push(Rule::regex(
+                id,
+                &format!("ET WEB SQLi {param} {shell}"),
+                &format!(r"[?&]{param}=[^&]*{shell}"),
+                Severity::Warning,
+                false,
+            ));
+            id += 1;
+        }
+    }
+    // A small content-only tail to keep the regex share at ~99 %.
+    for i in 0u32..29 {
+        rules.push(Rule::content(
+            id + i,
+            &format!("ET WEB SQLi content probe {i}"),
+            &[
+                ["select", "union", "insert", "delete", "update", "drop"][i as usize % 6],
+                "=",
+            ],
+            Severity::Notice,
+            false,
+        ));
+    }
+    rules
+}
+
+/// The subset of ET rules the live engine runs: the per-parameter
+/// union/boolean shells for the parameters our vulnerability catalog
+/// actually exposes. (Running all 4 231 generated rules per request
+/// is possible but pointless at harness scale; the full set exists
+/// for Table IV statistics and the ablation bench.)
+pub fn et_active_rules() -> Vec<Rule> {
+    let mut rules = et_generated_rules();
+    rules.truncate(120);
+    for r in &mut rules {
+        r.enabled = true;
+    }
+    rules
+}
+
+/// The Snort/ET engine: deterministic first-match alerting over the
+/// percent-decoded payload.
+#[derive(Debug)]
+pub struct SnortEngine {
+    rules: Vec<Rule>,
+}
+
+impl SnortEngine {
+    /// Builds the engine with the default merged ruleset (curated
+    /// Snort rules + active ET subset), enabled regex/content rules
+    /// only — mirroring the paper's merged Snort 2920 + ET 7098 set.
+    pub fn new() -> SnortEngine {
+        let mut rules = snort_rules();
+        rules.extend(et_active_rules());
+        rules.retain(|r| r.enabled);
+        SnortEngine { rules }
+    }
+
+    /// Builds the engine from an explicit ruleset (disabled rules are
+    /// dropped).
+    pub fn with_rules(mut rules: Vec<Rule>) -> SnortEngine {
+        rules.retain(|r| r.enabled);
+        SnortEngine { rules }
+    }
+}
+
+impl Default for SnortEngine {
+    fn default() -> SnortEngine {
+        SnortEngine::new()
+    }
+}
+
+impl DetectionEngine for SnortEngine {
+    fn name(&self) -> &str {
+        "Snort - Emerging Threats"
+    }
+
+    fn evaluate(&self, request: &HttpRequest) -> Detection {
+        let payload = percent_decode(request.detection_payload());
+        let mut matched = Vec::new();
+        for rule in &self.rules {
+            if rule.matches(&payload) {
+                matched.push(rule.id);
+                // Snort alerts per rule; first alert is enough to
+                // flag, but we record all matches for diagnostics.
+                break;
+            }
+        }
+        Detection {
+            flagged: !matched.is_empty(),
+            score: if matched.is_empty() { 0.0 } else { 1.0 },
+            matched_rules: matched,
+        }
+    }
+
+    fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_counts_match_table_iv() {
+        assert_eq!(snort_rules().len(), 79);
+        let enabled = snort_rules().iter().filter(|r| r.enabled).count();
+        // Paper: 61 % of Snort SQLi rules enabled.
+        let share = enabled as f64 / 79.0;
+        assert!((0.55..=0.67).contains(&share), "enabled share {share}");
+        assert_eq!(et_generated_rules().len(), 4231);
+        assert!(et_generated_rules().iter().all(|r| !r.enabled));
+    }
+
+    #[test]
+    fn regex_share_matches_table_iv() {
+        let snort = snort_rules();
+        let regex_share =
+            snort.iter().filter(|r| r.matcher.is_regex()).count() as f64 / snort.len() as f64;
+        assert!((0.75..=0.90).contains(&regex_share), "snort regex share {regex_share}");
+        let et = et_generated_rules();
+        let et_share =
+            et.iter().filter(|r| r.matcher.is_regex()).count() as f64 / et.len() as f64;
+        assert!(et_share > 0.985, "et regex share {et_share}");
+    }
+
+    #[test]
+    fn catches_classic_attacks() {
+        let e = SnortEngine::new();
+        let attacks = [
+            "id=1+UNION+SELECT+1,2,3",
+            "id=1%20or%201=1",
+            "q=x'+or+'1'%3D'1",
+            "id=1;drop+table+users",
+            "id=1+and+sleep(5)",
+            "id=extractvalue(1,concat(0x7e,version()))",
+            "id=1+union+select+group_concat(table_name)+from+information_schema.tables",
+        ];
+        for a in attacks {
+            let req = HttpRequest::get("v", "/x.php", a);
+            assert!(e.evaluate(&req).flagged, "missed {a}");
+        }
+    }
+
+    #[test]
+    fn misses_comment_obfuscated_union() {
+        // The narrow `union\s+select` regex does not survive inline
+        // comments — exactly the weakness the paper describes.
+        let e = SnortEngine::new();
+        let req = HttpRequest::get("v", "/x.php", "id=1+un/**/ion+se/**/lect+1,2");
+        assert!(!e.evaluate(&req).flagged);
+    }
+
+    #[test]
+    fn fires_on_sql_looking_benign_traffic() {
+        // The paper's critique: `select ... from` style rules FP on
+        // benign queries.
+        let e = SnortEngine::new();
+        let req = HttpRequest::get(
+            "reports.university.example",
+            "/admin/report.php",
+            "query=select+name+from+dept_report&format=csv",
+        );
+        assert!(e.evaluate(&req).flagged);
+    }
+
+    #[test]
+    fn passes_plain_benign_traffic() {
+        let e = SnortEngine::new();
+        for q in ["page=2&sort=asc", "q=library+hours", "uid=4417&dept=math"] {
+            let req = HttpRequest::get("www", "/index.php", q);
+            assert!(!e.evaluate(&req).flagged, "false positive on {q}");
+        }
+    }
+
+    #[test]
+    fn average_pattern_length_is_short() {
+        // Table IV: Snort regex length avg 27.1.
+        let rules = snort_rules();
+        let lens: Vec<usize> = rules
+            .iter()
+            .filter(|r| r.matcher.is_regex())
+            .map(|r| r.matcher.pattern_len())
+            .collect();
+        let avg = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        assert!((8.0..=40.0).contains(&avg), "avg len {avg}");
+    }
+}

@@ -1,0 +1,103 @@
+//! A miniature IDS gateway: four detection engines watch the same
+//! mixed traffic stream and their verdicts are compared side by side
+//! — the situation the paper's Table V abstracts.
+//!
+//! ```text
+//! cargo run --release -p psigene --example ids_gateway
+//! ```
+
+use psigene::{PipelineConfig, Psigene};
+use psigene_corpus::{arachni::{self, ArachniConfig}, benign::{self, BenignConfig}, Dataset, Label};
+use psigene_learn::ConfusionMatrix;
+use psigene_rulesets::{BroEngine, DetectionEngine, ModsecEngine, SnortEngine};
+use rand::SeedableRng;
+
+fn main() {
+    println!("training pSigene...");
+    let system = Psigene::train(&PipelineConfig {
+        crawl_samples: 1500,
+        benign_train: 10_000,
+        cluster_sample_cap: 900,
+        ..PipelineConfig::default()
+    });
+    let bro = BroEngine::new();
+    let snort = SnortEngine::new();
+    let modsec = ModsecEngine::new();
+    let engines: Vec<&dyn DetectionEngine> = vec![&system, &modsec, &snort, &bro];
+
+    // A mixed stream: mostly benign with scanner traffic woven in.
+    let mut stream = Dataset::new();
+    stream.extend(benign::generate(&BenignConfig {
+        requests: 2000,
+        include_novel_tail: true,
+        ..Default::default()
+    }));
+    stream.extend(arachni::generate(&ArachniConfig {
+        samples: 150,
+        ..Default::default()
+    }));
+    stream.shuffle(&mut rand_chacha::ChaCha8Rng::seed_from_u64(0xf00d));
+
+    println!(
+        "processing {} requests ({} attacks hidden in the stream)\n",
+        stream.len(),
+        stream.attack_count()
+    );
+
+    let mut matrices = vec![ConfusionMatrix::default(); engines.len()];
+    let mut shown = 0;
+    for sample in &stream.samples {
+        let is_attack = sample.label.is_attack();
+        let verdicts: Vec<bool> = engines
+            .iter()
+            .map(|e| e.evaluate(&sample.request).flagged)
+            .collect();
+        for (m, &flagged) in matrices.iter_mut().zip(&verdicts) {
+            m.record(is_attack, flagged);
+        }
+        // Print the first few disagreements — the interesting cases.
+        let agree = verdicts.iter().all(|&v| v == verdicts[0]);
+        if !agree && shown < 8 {
+            shown += 1;
+            let family = match sample.label {
+                Label::Attack(f) => f.name(),
+                Label::Benign => "benign",
+            };
+            println!(
+                "disagreement on {:<18} {:<60} {}",
+                format!("[{family}]"),
+                truncate(&sample.request.request_target(), 60),
+                engines
+                    .iter()
+                    .zip(&verdicts)
+                    .map(|(e, v)| format!("{}:{}", short(e.name()), if *v { "ALERT" } else { "ok" }))
+                    .collect::<Vec<_>>()
+                    .join("  ")
+            );
+        }
+    }
+
+    println!("\n{:<26} {:>8} {:>8} {:>10} {:>8}", "ENGINE", "TPR", "FPR", "PRECISION", "F1");
+    for (e, m) in engines.iter().zip(&matrices) {
+        println!(
+            "{:<26} {:>7.1}% {:>7.2}% {:>9.1}% {:>8.3}",
+            e.name(),
+            m.tpr() * 100.0,
+            m.fpr() * 100.0,
+            m.precision() * 100.0,
+            m.f1()
+        );
+    }
+}
+
+fn short(name: &str) -> &str {
+    name.split_whitespace().next().unwrap_or(name)
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        s.chars().take(n - 1).collect::<String>() + "…"
+    }
+}

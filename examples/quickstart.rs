@@ -1,0 +1,58 @@
+//! Quickstart: train a small pSigene system and classify a few
+//! requests.
+//!
+//! ```text
+//! cargo run --release -p psigene --example quickstart
+//! ```
+
+use psigene::{PipelineConfig, Psigene};
+use psigene_http::HttpRequest;
+use psigene_rulesets::DetectionEngine;
+
+fn main() {
+    // Train at a small scale so the example finishes in seconds. The
+    // pipeline still runs all four phases: crawl the simulated
+    // portals, extract features, bicluster, fit one logistic
+    // regression signature per cluster.
+    println!("training pSigene (small scale)...");
+    let config = PipelineConfig {
+        crawl_samples: 1200,
+        benign_train: 8_000,
+        cluster_sample_cap: 800,
+        ..PipelineConfig::default()
+    };
+    let system = Psigene::train(&config);
+
+    let report = system.report();
+    println!(
+        "\n{} signatures from {} -> {} features (matrix {:.0}% sparse, cophenetic {:.2})\n",
+        system.signatures().len(),
+        report.initial_features,
+        report.pruned_features,
+        report.matrix_sparsity * 100.0,
+        report.cophenetic_correlation,
+    );
+
+    let requests = [
+        ("classic union exfiltration",
+         HttpRequest::get("shop.example", "/item.php",
+             "id=-1+UNION+SELECT+1,concat(user(),0x3a,version()),3--+-")),
+        ("quote-breakout tautology",
+         HttpRequest::get("blog.example", "/post.php", "id=1%27+or+%271%27%3D%271")),
+        ("time-blind probe",
+         HttpRequest::get("app.example", "/view.php", "page=1+AND+SLEEP(5)--")),
+        ("plain catalog browsing",
+         HttpRequest::get("shop.example", "/item.php", "id=1442&lang=en")),
+        ("benign search with SQL words",
+         HttpRequest::get("lib.example", "/search.php", "q=student+union+events")),
+    ];
+    for (label, request) in requests {
+        let verdict = system.evaluate(&request);
+        println!(
+            "{:>8}  p={:.3}  {label}: {}",
+            if verdict.flagged { "ALERT" } else { "ok" },
+            verdict.score,
+            request.request_target(),
+        );
+    }
+}
