@@ -15,7 +15,10 @@ fn patterns() -> Vec<(&'static str, &'static str)> {
         ("alternation", r"<=>|r?like|sounds\s+like|regexp"),
         ("counted", r"(%[0-9a-f]{2}){4,}"),
         ("boundary", r"\bunion\b"),
-        ("complex", r"union(\s|/\*.*?\*/)+(all(\s|/\*.*?\*/)+)?select"),
+        (
+            "complex",
+            r"union(\s|/\*.*?\*/)+(all(\s|/\*.*?\*/)+)?select",
+        ),
     ]
 }
 

@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use psigene::{PipelineConfig, Psigene};
-use psigene_corpus::sqlmap::{self, SqlmapConfig};
 use psigene_corpus::benign::{self, BenignConfig};
+use psigene_corpus::sqlmap::{self, SqlmapConfig};
 use psigene_rulesets::{BroEngine, DetectionEngine, ModsecEngine, SnortEngine};
 
 fn bench_engines(c: &mut Criterion) {

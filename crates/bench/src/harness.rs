@@ -2,12 +2,11 @@
 //! engine evaluation, and one function per table/figure of the paper.
 
 use psigene::{PipelineConfig, Psigene};
-use psigene_corpus::{arachni, benign, sqlmap, crawl_training_set, CrawlCorpusConfig, Dataset};
+use psigene_corpus::{arachni, benign, crawl_training_set, sqlmap, CrawlCorpusConfig, Dataset};
 use psigene_learn::{ConfusionMatrix, RocCurve};
 use psigene_perdisci::{PerdisciConfig, PerdisciSystem};
 use psigene_rulesets::{BroEngine, DetectionEngine, ModsecEngine, SnortEngine};
 use std::fmt::Write as _;
-use std::time::Instant;
 
 /// Scaled experiment setup. `scale` = 1.0 reproduces the paper's
 /// corpus sizes (30 000 attacks / 240 000 benign / 1.4 M-request FPR
@@ -100,8 +99,15 @@ pub fn benign_confusion(engine: &dyn DetectionEngine, ds: &Dataset) -> Confusion
 /// Table I: the vulnerability catalog plus the coverage check.
 pub fn table1(setup: &Setup) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "TABLE I — SQLi vulnerabilities (July 2012 style) and dataset coverage\n");
-    let _ = writeln!(out, "{:<52} {:<16} {:>9}", "VULNERABILITY", "CVE ID", "COVERED");
+    let _ = writeln!(
+        out,
+        "TABLE I — SQLi vulnerabilities (July 2012 style) and dataset coverage\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<52} {:<16} {:>9}",
+        "VULNERABILITY", "CVE ID", "COVERED"
+    );
     let train = setup.training_set();
     let params: std::collections::HashSet<&str> = train
         .samples
@@ -139,7 +145,11 @@ pub fn table2() -> String {
     let set = FeatureSet::full();
     let hist = set.source_histogram();
     for source in FeatureSource::ALL {
-        let n = hist.iter().find(|(s, _)| *s == source).map(|(_, n)| *n).unwrap_or(0);
+        let n = hist
+            .iter()
+            .find(|(s, _)| *s == source)
+            .map(|(_, n)| *n)
+            .unwrap_or(0);
         let _ = writeln!(out, "{} ({n} features)", source.label());
         let _ = writeln!(out, "  examples: {}", source.examples().join("  "));
         let _ = writeln!(out, "  {}\n", source.description());
@@ -226,7 +236,10 @@ pub fn table5(system: &Psigene, setup: &Setup) -> (String, Vec<AccuracyRow>) {
         });
     }
     let mut out = String::new();
-    let _ = writeln!(out, "TABLE V — accuracy comparison between different SQLi rulesets");
+    let _ = writeln!(
+        out,
+        "TABLE V — accuracy comparison between different SQLi rulesets"
+    );
     let _ = writeln!(
         out,
         "(test sets: {} SQLmap, {} Arachni, {} benign requests)\n",
@@ -298,7 +311,12 @@ pub fn fig2(setup: &Setup, out_dir: &std::path::Path) -> std::io::Result<String>
     let cond = psigene_linalg::distance::pairwise_euclidean_sparse(&mcap);
     let coph = psigene_cluster::cophenetic_correlation(&result.row_dendrogram, &cond);
     let mut out = String::new();
-    let _ = writeln!(out, "FIGURE 2 — biclustered heat map ({}×{} matrix)\n", mcap.rows(), mcap.cols());
+    let _ = writeln!(
+        out,
+        "FIGURE 2 — biclustered heat map ({}×{} matrix)\n",
+        mcap.rows(),
+        mcap.cols()
+    );
     out.push_str(&heatmap.to_ascii(40, 78));
     let _ = writeln!(out, "\nbiclusters: {}", result.biclusters.len());
     for b in &result.biclusters {
@@ -311,7 +329,10 @@ pub fn fig2(setup: &Setup, out_dir: &std::path::Path) -> std::io::Result<String>
             if b.black_hole { "  (black hole)" } else { "" }
         );
     }
-    let _ = writeln!(out, "cophenetic correlation coefficient: {coph:.3} (paper: 0.92)");
+    let _ = writeln!(
+        out,
+        "cophenetic correlation coefficient: {coph:.3} (paper: 0.92)"
+    );
     let _ = writeln!(out, "artifacts: fig2_heatmap.csv, fig2_heatmap.pgm");
     Ok(out)
 }
@@ -336,8 +357,15 @@ pub fn fig3(system: &Psigene, setup: &Setup, out_dir: &std::path::Path) -> std::
         }
     }
     let mut out = String::new();
-    let _ = writeln!(out, "FIGURE 3 — ROC curves for the generalized signatures\n");
-    let _ = writeln!(out, "{:>10} {:>8} {:>16} {:>16}", "SIGNATURE", "AUC", "TPR@FPR<=0.5%", "TPR@FPR<=5%");
+    let _ = writeln!(
+        out,
+        "FIGURE 3 — ROC curves for the generalized signatures\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>8} {:>16} {:>16}",
+        "SIGNATURE", "AUC", "TPR@FPR<=0.5%", "TPR@FPR<=5%"
+    );
     for (i, sig) in system.signatures().iter().enumerate() {
         let roc = RocCurve::from_scores(&scores[i], &labels);
         std::fs::write(
@@ -372,8 +400,15 @@ pub fn fig4(system: &Psigene, setup: &Setup) -> String {
         .collect();
     solo.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
     let mut out = String::new();
-    let _ = writeln!(out, "FIGURE 4 — cumulative TPR as signatures are added (best first)\n");
-    let _ = writeln!(out, "{:>10} {:>10} {:>12} {:>14}", "SIGNATURE", "SOLO TPR", "CUMULATIVE", "CONTRIBUTION");
+    let _ = writeln!(
+        out,
+        "FIGURE 4 — cumulative TPR as signatures are added (best first)\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:>10} {:>10} {:>12} {:>14}",
+        "SIGNATURE", "SOLO TPR", "CUMULATIVE", "CONTRIBUTION"
+    );
     let mut enabled: Vec<usize> = Vec::new();
     let mut prev = 0.0;
     for (id, solo_tpr) in solo {
@@ -399,7 +434,7 @@ pub fn exp2(system: &Psigene, setup: &Setup) -> String {
     let mut sqlmap_ds = setup.sqlmap_test();
     // "we first randomized the SQLmap set and then divided it" —
     // shuffle before splitting.
-    sqlmap_ds.shuffle(&mut rand_chacha::ChaCha8Rng::seed_from_u64(0x1ea4_ed));
+    sqlmap_ds.shuffle(&mut rand_chacha::ChaCha8Rng::seed_from_u64(0x001e_a4ed));
     let benign_ds = setup.benign_test();
     let mut out = String::new();
     let _ = writeln!(out, "EXPERIMENT 2 — incremental learning\n");
@@ -433,7 +468,10 @@ pub fn exp2(system: &Psigene, setup: &Setup) -> String {
             stats.retrained_signatures
         );
     }
-    let _ = writeln!(out, "\n(paper: 89.13% / 0.039% at +20%; 91.15% / 0.044% at +40%)");
+    let _ = writeln!(
+        out,
+        "\n(paper: 89.13% / 0.039% at +20%; 91.15% / 0.044% at +40%)"
+    );
     out
 }
 
@@ -453,10 +491,27 @@ pub fn exp3(setup: &Setup) -> String {
     );
     let _ = writeln!(out, "(paper: 145 -> 27 -> 10)\n");
     let cm = benign_confusion(&sys, &benign_ds);
-    let _ = writeln!(out, "TPR on SQLmap set:   {:>6.2}%  (paper: 5.79%)", tpr(&sys, &sqlmap_ds) * 100.0);
-    let _ = writeln!(out, "TPR on Arachni set:  {:>6.2}%", tpr(&sys, &arachni_ds) * 100.0);
-    let _ = writeln!(out, "FPR on benign week:  {:>7.4}% ({} alarms; paper: 0%)", cm.fpr() * 100.0, cm.false_positives);
-    let _ = writeln!(out, "TPR on training set: {:>6.2}%  (paper: 76.5%)", tpr(&sys, &train) * 100.0);
+    let _ = writeln!(
+        out,
+        "TPR on SQLmap set:   {:>6.2}%  (paper: 5.79%)",
+        tpr(&sys, &sqlmap_ds) * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "TPR on Arachni set:  {:>6.2}%",
+        tpr(&sys, &arachni_ds) * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "FPR on benign week:  {:>7.4}% ({} alarms; paper: 0%)",
+        cm.fpr() * 100.0,
+        cm.false_positives
+    );
+    let _ = writeln!(
+        out,
+        "TPR on training set: {:>6.2}%  (paper: 76.5%)",
+        tpr(&sys, &train) * 100.0
+    );
     out
 }
 
@@ -465,27 +520,39 @@ pub fn exp4(system: &Psigene, setup: &Setup) -> String {
     let sqlmap_ds = setup.sqlmap_test();
     let modsec = ModsecEngine::new();
     let bro = BroEngine::new();
-    let engines: Vec<(&dyn DetectionEngine, &str)> = vec![
-        (system, "pSigene"),
-        (&modsec, "ModSecurity"),
-        (&bro, "Bro"),
-    ];
+    let engines: Vec<(&dyn DetectionEngine, &str)> =
+        vec![(system, "pSigene"), (&modsec, "ModSecurity"), (&bro, "Bro")];
+    let telemetry = psigene_telemetry::global();
     let mut out = String::new();
-    let _ = writeln!(out, "EXPERIMENT 4 — processing time per HTTP request (SQLmap dataset)\n");
-    let _ = writeln!(out, "{:<14} {:>10} {:>10} {:>10}", "ENGINE", "MIN (µs)", "AVG (µs)", "MAX (µs)");
+    let _ = writeln!(
+        out,
+        "EXPERIMENT 4 — processing time per HTTP request (SQLmap dataset)\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "ENGINE", "MIN (µs)", "AVG (µs)", "MAX (µs)", "P50 (µs)", "P99 (µs)"
+    );
     let mut avgs = Vec::new();
     for (e, label) in engines {
-        let mut times = Vec::with_capacity(sqlmap_ds.len());
+        let metric = format!("bench.exp4.{}", label.to_lowercase());
         for s in &sqlmap_ds.samples {
-            let t = Instant::now();
+            let span = telemetry.root_span(&metric);
             let _ = e.evaluate(&s.request);
-            times.push(t.elapsed().as_nanos() as f64 / 1000.0);
+            span.finish();
         }
-        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
-        let max = times.iter().copied().fold(0.0, f64::max);
-        let avg = times.iter().sum::<f64>() / times.len() as f64;
+        let snap = telemetry.histogram(&format!("span.{metric}")).snapshot();
+        let us = |v: Option<u64>| v.unwrap_or(0) as f64 / 1000.0;
+        let min = us(snap.min());
+        let max = us(snap.max());
+        let avg = snap.mean().unwrap_or(0.0) / 1000.0;
         avgs.push((label, avg));
-        let _ = writeln!(out, "{label:<14} {min:>10.1} {avg:>10.1} {max:>10.1}");
+        let _ = writeln!(
+            out,
+            "{label:<14} {min:>10.1} {avg:>10.1} {max:>10.1} {:>10.1} {:>10.1}",
+            us(snap.p50()),
+            us(snap.p99())
+        );
     }
     let psig = avgs[0].1;
     let _ = writeln!(
@@ -494,15 +561,21 @@ pub fn exp4(system: &Psigene, setup: &Setup) -> String {
         psig / avgs[1].1,
         psig / avgs[2].1
     );
-    let _ = writeln!(out, "(paper: min 390 / avg 995 / max 1950 µs on a 700 MHz box; 17x vs ModSec, 11x vs Bro)");
+    let _ = writeln!(
+        out,
+        "(paper: min 390 / avg 995 / max 1950 µs on a 700 MHz box; 17x vs ModSec, 11x vs Bro)"
+    );
     out
 }
 
 /// Ablations of design choices the paper calls out.
 pub fn ablation(setup: &Setup) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "ABLATIONS — design choices called out in the paper
-");
+    let _ = writeln!(
+        out,
+        "ABLATIONS — design choices called out in the paper
+"
+    );
 
     // (1) Count vs binary features (§II-B: binary "did not produce
     // good results").
@@ -527,8 +600,11 @@ pub fn ablation(setup: &Setup) -> String {
     }
 
     // (2) Linkage choice (the paper uses UPGMA).
-    let _ = writeln!(out, "
-(2) linkage criterion (cophenetic fidelity + Table V TPR)");
+    let _ = writeln!(
+        out,
+        "
+(2) linkage criterion (cophenetic fidelity + Table V TPR)"
+    );
     for linkage in [
         psigene_cluster::Linkage::Average,
         psigene_cluster::Linkage::Complete,
@@ -549,8 +625,11 @@ pub fn ablation(setup: &Setup) -> String {
     }
 
     // (3) 7 vs 9 vs all signatures (Experiment 1's knob).
-    let _ = writeln!(out, "
-(3) signature-set size");
+    let _ = writeln!(
+        out,
+        "
+(3) signature-set size"
+    );
     let ids: Vec<usize> = counts.signatures().iter().map(|s| s.id).collect();
     for n in [7usize, 9, ids.len()] {
         let sub = counts.with_signatures(&ids[..n.min(ids.len())]);
@@ -565,10 +644,18 @@ pub fn ablation(setup: &Setup) -> String {
     }
 
     // (4) Regex prefilter on/off (engine-level optimization).
-    let _ = writeln!(out, "
-(4) regex literal prefilter (1000 benign payloads x 30 features)");
+    let _ = writeln!(
+        out,
+        "
+(4) regex literal prefilter (1000 benign payloads x 30 features)"
+    );
     let feats = psigene_features::FeatureSet::full();
-    let patterns: Vec<&str> = feats.features().iter().take(30).map(|f| f.pattern.as_str()).collect();
+    let patterns: Vec<&str> = feats
+        .features()
+        .iter()
+        .take(30)
+        .map(|f| f.pattern.as_str())
+        .collect();
     let hay: Vec<Vec<u8>> = benign_ds
         .samples
         .iter()
@@ -586,7 +673,10 @@ pub fn ablation(setup: &Setup) -> String {
                     .expect("pattern compiles")
             })
             .collect();
-        let t = Instant::now();
+        let span = psigene_telemetry::root_span(&format!(
+            "bench.ablation.prefilter_{}",
+            if pf { "on" } else { "off" }
+        ));
         let mut total = 0usize;
         for h in &hay {
             for re in &regexes {
@@ -596,7 +686,7 @@ pub fn ablation(setup: &Setup) -> String {
         let _ = writeln!(
             out,
             "    {label}: {:>8.1} ms ({} total matches)",
-            t.elapsed().as_secs_f64() * 1000.0,
+            span.finish().as_secs_f64() * 1000.0,
             total
         );
     }

@@ -8,7 +8,9 @@
 //! Subcommands: `table1`..`table6`, `fig2`, `fig3`, `fig4`, `exp2`,
 //! `exp3`, `exp4`, `ablation`, `all`. Options: `--scale <f>` (corpus
 //! scale relative to the paper, default 0.1), `--seed <n>`,
-//! `--out <dir>` (artifact directory, default `results/`).
+//! `--out <dir>` (artifact directory, default `results/`),
+//! `--telemetry <file>` (dump the global telemetry registry as JSON
+//! after all subcommands finish).
 
 mod harness;
 
@@ -20,6 +22,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut setup = Setup::default();
     let mut out_dir = PathBuf::from("results");
+    let mut telemetry_out: Option<PathBuf> = None;
     let mut commands: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -39,9 +42,15 @@ fn main() {
                 i += 2;
             }
             "--out" => {
-                out_dir = PathBuf::from(
-                    args.get(i + 1).unwrap_or_else(|| die("--out needs a path")),
-                );
+                out_dir =
+                    PathBuf::from(args.get(i + 1).unwrap_or_else(|| die("--out needs a path")));
+                i += 2;
+            }
+            "--telemetry" => {
+                telemetry_out = Some(PathBuf::from(
+                    args.get(i + 1)
+                        .unwrap_or_else(|| die("--telemetry needs a path")),
+                ));
                 i += 2;
             }
             cmd if !cmd.starts_with('-') => {
@@ -57,8 +66,8 @@ fn main() {
     }
     let expanded: Vec<&str> = if commands.iter().any(|c| c == "all") {
         vec![
-            "table1", "table2", "table3", "table4", "table5", "table6", "fig2", "fig3",
-            "fig4", "exp2", "exp3", "exp4", "ablation",
+            "table1", "table2", "table3", "table4", "table5", "table6", "fig2", "fig3", "fig4",
+            "exp2", "exp3", "exp4", "ablation",
         ]
     } else {
         commands.iter().map(String::as_str).collect()
@@ -77,12 +86,12 @@ fn main() {
             setup.scale,
             setup.pipeline_config().crawl_samples
         );
-        let t = std::time::Instant::now();
+        let span = psigene_telemetry::root_span("bench.train");
         let s = Psigene::train(&setup.pipeline_config());
         eprintln!(
             "trained {} signatures in {:.1?}\n",
             s.signatures().len(),
-            t.elapsed()
+            span.finish()
         );
         Some(s)
     } else {
@@ -118,11 +127,17 @@ fn main() {
         std::fs::write(&file, &report).expect("write report file");
     }
     eprintln!("reports written to {}", out_dir.display());
+    if let Some(path) = telemetry_out {
+        let json = psigene_telemetry::global().export_json();
+        std::fs::write(&path, json).expect("write telemetry file");
+        eprintln!("telemetry written to {}", path.display());
+    }
 }
 
 fn usage() {
     eprintln!(
-        "usage: repro [--scale <f>] [--seed <n>] [--out <dir>] <command>...\n\
+        "usage: repro [--scale <f>] [--seed <n>] [--out <dir>] [--telemetry <file>] \
+         <command>...\n\
          commands: table1 table2 table3 table4 table5 table6 fig2 fig3 fig4 \
          exp2 exp3 exp4 ablation all"
     );

@@ -124,7 +124,9 @@ pub fn bicluster_with_dendrogram(
     config: &BiclusterConfig,
 ) -> BiclusterResult {
     assert_eq!(row_dend.n, m.rows(), "dendrogram/matrix size mismatch");
-    let min_rows = ((m.rows() as f64) * config.min_row_fraction).ceil().max(1.0) as usize;
+    let min_rows = ((m.rows() as f64) * config.min_row_fraction)
+        .ceil()
+        .max(1.0) as usize;
 
     let (chosen_k, groups): (usize, Vec<Vec<usize>>) = match config.selection {
         SelectionStrategy::Inconsistency { gamma } => {
@@ -170,10 +172,7 @@ pub fn bicluster_with_dendrogram(
     };
 
     // Keep qualifying row clusters, largest first.
-    let mut kept: Vec<Vec<usize>> = groups
-        .into_iter()
-        .filter(|g| g.len() >= min_rows)
-        .collect();
+    let mut kept: Vec<Vec<usize>> = groups.into_iter().filter(|g| g.len() >= min_rows).collect();
     kept.sort_by_key(|g| std::cmp::Reverse(g.len()));
 
     let global_means = m.col_means();
@@ -269,7 +268,7 @@ fn select_columns(
     let col_dend = cluster_condensed(na, &mut cond, config.linkage);
     // Cut into a handful of column groups and keep the distinctive
     // ones: groups whose mean local/global ratio clears the bar.
-    let kcols = na.min(4).max(2);
+    let kcols = na.clamp(2, 4);
     let col_labels = col_dend.cut_k(kcols);
     let mut selected = Vec::new();
     for g in 0..kcols {
@@ -296,7 +295,9 @@ fn select_columns(
                         ms.iter().map(|&i| profiles[i].1).sum::<f64>() / ms.len() as f64
                     }
                 };
-                mr(g1).partial_cmp(&mr(g2)).unwrap_or(std::cmp::Ordering::Equal)
+                mr(g1)
+                    .partial_cmp(&mr(g2))
+                    .unwrap_or(std::cmp::Ordering::Equal)
             })
             .unwrap_or(0);
         selected = (0..na)

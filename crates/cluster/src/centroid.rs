@@ -103,8 +103,8 @@ pub fn cluster_sparse_rows_centroid(m: &CsrMatrix) -> Dendrogram {
                     let diff = x - y;
                     gap_sq += diff * diff;
                 }
-                let new_spread =
-                    (na * spread[a] + nb * spread[b]) / total + (na * nb) / (total * total) * gap_sq;
+                let new_spread = (na * spread[a] + nb * spread[b]) / total
+                    + (na * nb) / (total * total) * gap_sq;
                 let cb = std::mem::take(&mut centroid[b]);
                 for (x, y) in centroid[a].iter_mut().zip(&cb) {
                     *x = (na * *x + nb * *y) / total;
@@ -127,7 +127,7 @@ fn label(n: usize, mut raw: Vec<(usize, usize, f64)>) -> Dendrogram {
     let mut parent: Vec<usize> = (0..n).collect();
     let mut cluster_id: Vec<usize> = (0..n).collect();
     let mut sizes: Vec<usize> = vec![1; n];
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];

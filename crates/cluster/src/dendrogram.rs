@@ -50,7 +50,7 @@ impl Dendrogram {
         // Union-find over leaf ids plus merge ids.
         let total = self.n + merges_to_apply;
         let mut parent: Vec<usize> = (0..total).collect();
-        fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
             while parent[x] != x {
                 parent[x] = parent[parent[x]];
                 x = parent[x];
@@ -67,7 +67,7 @@ impl Dendrogram {
         // Renumber roots to consecutive small labels.
         let mut label_of_root: Vec<(usize, usize)> = Vec::new();
         let mut labels = vec![0usize; self.n];
-        for leaf in 0..self.n {
+        for (leaf, slot) in labels.iter_mut().enumerate() {
             let r = find(&mut parent, leaf);
             let label = match label_of_root.iter().find(|(root, _)| *root == r) {
                 Some((_, l)) => *l,
@@ -77,7 +77,7 @@ impl Dendrogram {
                     l
                 }
             };
-            labels[leaf] = label;
+            *slot = label;
         }
         labels
     }
@@ -163,8 +163,7 @@ impl Dendrogram {
                 // Split when the join is inconsistent with the
                 // children's internal scales — but never shatter a
                 // node whose pieces would all be sub-minimum.
-                let some_child_viable =
-                    size_of(m.a) >= min_size || size_of(m.b) >= min_size;
+                let some_child_viable = size_of(m.a) >= min_size || size_of(m.b) >= min_size;
                 some_child_viable && m.distance > gamma * child_scale
             } else {
                 false
@@ -271,9 +270,24 @@ mod tests {
         Dendrogram {
             n: 4,
             merges: vec![
-                Merge { a: 0, b: 1, distance: 1.0, size: 2 },
-                Merge { a: 2, b: 3, distance: 2.0, size: 2 },
-                Merge { a: 4, b: 5, distance: 5.0, size: 4 },
+                Merge {
+                    a: 0,
+                    b: 1,
+                    distance: 1.0,
+                    size: 2,
+                },
+                Merge {
+                    a: 2,
+                    b: 3,
+                    distance: 2.0,
+                    size: 2,
+                },
+                Merge {
+                    a: 4,
+                    b: 5,
+                    distance: 5.0,
+                    size: 4,
+                },
             ],
         }
     }
@@ -351,9 +365,24 @@ mod tests {
         let d = Dendrogram {
             n: 4,
             merges: vec![
-                Merge { a: 0, b: 1, distance: 1.0, size: 2 },
-                Merge { a: 4, b: 2, distance: 10.0, size: 3 },
-                Merge { a: 5, b: 3, distance: 12.0, size: 4 },
+                Merge {
+                    a: 0,
+                    b: 1,
+                    distance: 1.0,
+                    size: 2,
+                },
+                Merge {
+                    a: 4,
+                    b: 2,
+                    distance: 10.0,
+                    size: 3,
+                },
+                Merge {
+                    a: 5,
+                    b: 3,
+                    distance: 12.0,
+                    size: 4,
+                },
             ],
         };
         // Gamma below the chain ratio (12/10 = 1.2) peels both

@@ -64,8 +64,8 @@ pub fn cluster_condensed(n: usize, condensed: &mut [f64], linkage: Linkage) -> D
             };
             let mut best = usize::MAX;
             let mut best_d = f64::INFINITY;
-            for c in 0..n {
-                if c == a || !active[c] {
+            for (c, &c_active) in active.iter().enumerate() {
+                if c == a || !c_active {
                     continue;
                 }
                 let d = dist(condensed, a, c);
@@ -83,8 +83,8 @@ pub fn cluster_condensed(n: usize, condensed: &mut [f64], linkage: Linkage) -> D
                 raw.push((a, b, d_ab));
                 // Lance–Williams update into slot `a`.
                 let (na, nb) = (size[a], size[b]);
-                for k in 0..n {
-                    if k == a || k == b || !active[k] {
+                for (k, &k_active) in active.iter().enumerate() {
+                    if k == a || k == b || !k_active {
                         continue;
                     }
                     let dak = dist(condensed, a, k);
@@ -112,7 +112,7 @@ fn label(n: usize, mut raw: Vec<(usize, usize, f64)>) -> Dendrogram {
     let mut parent: Vec<usize> = (0..n).collect();
     let mut cluster_id: Vec<usize> = (0..n).collect(); // id of root's cluster
     let mut sizes: Vec<usize> = vec![1; n];
-    fn find(parent: &mut Vec<usize>, mut x: usize) -> usize {
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
         while parent[x] != x {
             parent[x] = parent[parent[x]];
             x = parent[x];
@@ -190,7 +190,7 @@ mod tests {
         let mut cond = vec![2.0, 8.0, 6.0];
         let d = cluster_condensed(3, &mut cond, Linkage::Average);
         assert_eq!(d.merges[0].distance, 2.0); // (a,b)
-        // d((ab),c) = (8 + 6) / 2 = 7.
+                                               // d((ab),c) = (8 + 6) / 2 = 7.
         assert!((d.merges[1].distance - 7.0).abs() < 1e-12);
     }
 

@@ -139,7 +139,14 @@ impl Heatmap {
                 c += cstep;
             }
             let cluster = self.row_cluster[r];
-            out.push_str(&format!("{line} |{}\n", if cluster == 0 { "-".into() } else { cluster.to_string() }));
+            out.push_str(&format!(
+                "{line} |{}\n",
+                if cluster == 0 {
+                    "-".into()
+                } else {
+                    cluster.to_string()
+                }
+            ));
             r += rstep;
         }
         out
@@ -187,7 +194,10 @@ mod tests {
                 changes += 1;
             }
         }
-        assert!(changes <= 2, "row clusters not contiguous: {changes} changes");
+        assert!(
+            changes <= 2,
+            "row clusters not contiguous: {changes} changes"
+        );
     }
 
     #[test]

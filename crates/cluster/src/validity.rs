@@ -72,11 +72,7 @@ mod tests {
     #[test]
     fn well_separated_beats_poorly_separated() {
         // Two tight blobs far apart...
-        let good = Matrix::from_rows(
-            6,
-            1,
-            vec![0.0, 0.1, 0.2, 100.0, 100.1, 100.2],
-        );
+        let good = Matrix::from_rows(6, 1, vec![0.0, 0.1, 0.2, 100.0, 100.1, 100.2]);
         // ...vs the same blobs close together.
         let bad = Matrix::from_rows(6, 1, vec![0.0, 0.1, 0.2, 0.5, 0.6, 0.7]);
         let labels = vec![0, 0, 0, 1, 1, 1];

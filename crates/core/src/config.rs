@@ -50,7 +50,7 @@ pub struct PipelineConfig {
 impl Default for PipelineConfig {
     fn default() -> PipelineConfig {
         PipelineConfig {
-            seed: 0x0051_6e5e,
+            seed: 0x0051_6e61,
             crawl_samples: 3000,
             portal_profile: ObfuscationProfile::portal(),
             benign_train: 24_000,

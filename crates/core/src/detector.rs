@@ -42,6 +42,7 @@ impl DetectionEngine for Psigene {
     }
 
     fn evaluate(&self, request: &HttpRequest) -> Detection {
+        let start = std::time::Instant::now();
         let f = self.features_of(request);
         let mut matched = Vec::new();
         let mut best = 0.0f64;
@@ -54,6 +55,17 @@ impl DetectionEngine for Psigene {
                 matched.push(s.id as u32);
             }
         }
+        let telemetry = psigene_telemetry::global();
+        telemetry.counter("detector.requests").inc();
+        if !matched.is_empty() {
+            telemetry.counter("detector.flagged").inc();
+            for id in &matched {
+                telemetry.counter(&format!("detector.sig_match.{id}")).inc();
+            }
+        }
+        telemetry
+            .histogram("detector.latency_ns")
+            .record_duration(start.elapsed());
         Detection {
             flagged: !matched.is_empty(),
             matched_rules: matched,

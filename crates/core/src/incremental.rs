@@ -32,6 +32,7 @@ impl Psigene {
     /// Returns a new system whose signatures were retrained with the
     /// additional attack samples folded in.
     pub fn retrain_with(&self, new_attacks: &Dataset, threads: usize) -> (Psigene, UpdateStats) {
+        let _span = psigene_telemetry::root_span("incremental.retrain");
         let mut out = self.clone();
         let mut stats = UpdateStats {
             offered: new_attacks.len(),
@@ -119,6 +120,19 @@ impl Psigene {
             }
             out.state.centroids[i] = c;
         }
+        let telemetry = psigene_telemetry::global();
+        telemetry
+            .counter("incremental.samples_offered")
+            .add(stats.offered as u64);
+        telemetry
+            .counter("incremental.samples_assigned")
+            .add(stats.assigned as u64);
+        telemetry
+            .counter("incremental.samples_unassigned")
+            .add(stats.unassigned as u64);
+        telemetry
+            .counter("incremental.signatures_retrained")
+            .add(stats.retrained_signatures as u64);
         (out, stats)
     }
 }
@@ -149,7 +163,11 @@ mod tests {
         assert!(stats.retrained_signatures > 0);
         // Training sample counts grew.
         let before: usize = p.signatures().iter().map(|s| s.training_samples).sum();
-        let after: usize = updated.signatures().iter().map(|s| s.training_samples).sum();
+        let after: usize = updated
+            .signatures()
+            .iter()
+            .map(|s| s.training_samples)
+            .sum();
         assert!(after > before);
     }
 

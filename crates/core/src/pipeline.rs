@@ -57,6 +57,7 @@ impl Psigene {
     /// Panics when the configuration produces an empty corpus.
     pub fn train(config: &PipelineConfig) -> Psigene {
         // ── Phase 1: webcrawling for attack samples (§II-A) ──
+        let crawl_span = psigene_telemetry::root_span("pipeline.crawl");
         let attacks = crawl_training_set(&CrawlCorpusConfig {
             samples: config.crawl_samples,
             seed: config.seed,
@@ -68,7 +69,10 @@ impl Psigene {
             include_novel_tail: false,
             seed: config.seed ^ 0xbe9116,
         });
-        Psigene::train_from_datasets(&attacks, &benign, config)
+        let crawl_seconds = crawl_span.finish().as_secs_f64();
+        let mut system = Psigene::train_from_datasets(&attacks, &benign, config);
+        system.report.phase_seconds.crawl = crawl_seconds;
+        system
     }
 
     /// Runs phases 2–4 on caller-provided datasets (used by tests,
@@ -85,10 +89,14 @@ impl Psigene {
         let mut report = PipelineReport::default();
 
         // ── Phase 2: feature extraction (§II-B) ──
+        let extract_span = psigene_telemetry::root_span("pipeline.extract");
         let full = FeatureSet::full();
         report.initial_features = full.len();
-        let attack_payloads: Vec<&[u8]> =
-            attacks.samples.iter().map(|s| s.request.detection_payload()).collect();
+        let attack_payloads: Vec<&[u8]> = attacks
+            .samples
+            .iter()
+            .map(|s| s.request.detection_payload())
+            .collect();
         let attack_full = extract::extract_matrix(&full, &attack_payloads, config.threads);
         let (pruned, kept) = full.prune_unobserved(&attack_full);
         let mut attack_m = attack_full.select_cols(&kept);
@@ -105,14 +113,19 @@ impl Psigene {
         report.matrix_ones_fraction =
             ones as f64 / (attack_m.rows() * attack_m.cols()).max(1) as f64;
 
-        let benign_payloads: Vec<&[u8]> =
-            benign.samples.iter().map(|s| s.request.detection_payload()).collect();
+        let benign_payloads: Vec<&[u8]> = benign
+            .samples
+            .iter()
+            .map(|s| s.request.detection_payload())
+            .collect();
         let mut benign_m = extract::extract_matrix(&pruned, &benign_payloads, config.threads);
         if config.binary_features {
             benign_m = benign_m.binarize();
         }
+        report.phase_seconds.extract = extract_span.finish().as_secs_f64();
 
         // ── Phase 3: biclustering (§II-C) ──
+        let bicluster_span = psigene_telemetry::root_span("pipeline.bicluster");
         let n = attack_m.rows();
         let cap = config.cluster_sample_cap.max(8);
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x0c10_57e5);
@@ -173,8 +186,8 @@ impl Psigene {
             }
         }
         // Remaining rows go to the nearest centroid within its radius.
-        for r in 0..n {
-            if assigned[r] {
+        for (r, slot) in assigned.iter_mut().enumerate() {
+            if *slot {
                 continue;
             }
             let mut best = None;
@@ -189,7 +202,7 @@ impl Psigene {
             if let Some(ci) = best {
                 if best_d <= radii[ci] {
                     members[ci].push(r);
-                    assigned[r] = true;
+                    *slot = true;
                 }
             }
         }
@@ -199,9 +212,11 @@ impl Psigene {
         // numbering), keeping black-hole info attached.
         let mut order: Vec<usize> = (0..members.len()).collect();
         order.sort_by_key(|&i| std::cmp::Reverse(members[i].len()));
+        report.phase_seconds.bicluster = bicluster_span.finish().as_secs_f64();
 
         // ── Phase 4: one logistic-regression signature per
         //             non-black-hole bicluster (§II-D) ──
+        let train_span = psigene_telemetry::root_span("pipeline.train");
         let mut signatures = Vec::new();
         let mut state_centroids = Vec::new();
         let mut state_radii = Vec::new();
@@ -212,10 +227,7 @@ impl Psigene {
             let rows = &members[ci];
             let cols = &cluster_cols[ci];
             // Zero fraction over the full (assigned) membership.
-            let nnz: usize = rows
-                .iter()
-                .map(|&r| attack_m.row(r).count())
-                .sum();
+            let nnz: usize = rows.iter().map(|&r| attack_m.row(r).count()).sum();
             let zero_fraction = if rows.is_empty() {
                 1.0
             } else {
@@ -260,6 +272,7 @@ impl Psigene {
             }
             report.clusters.push(info);
         }
+        report.phase_seconds.train = train_span.finish().as_secs_f64();
 
         Psigene {
             name: format!("pSigene ({} signatures)", signatures.len()),
@@ -293,6 +306,17 @@ impl Psigene {
         &self.report
     }
 
+    /// A point-in-time copy of the global telemetry registry: phase
+    /// spans (`span.pipeline.*`), trainer convergence counters
+    /// (`learn.*`), the detection latency histogram
+    /// (`detector.latency_ns`) and per-signature hit counters
+    /// (`detector.sig_match.<id>`). The registry is process-wide, so
+    /// the snapshot reflects every engine in the process, not only
+    /// this one.
+    pub fn telemetry_snapshot(&self) -> psigene_telemetry::Snapshot {
+        psigene_telemetry::global().snapshot()
+    }
+
     /// A copy restricted to the signatures with the given ids — the
     /// paper evaluates 7- and 9-signature subsets of its 11 clusters.
     pub fn with_signatures(&self, ids: &[usize]) -> Psigene {
@@ -305,7 +329,10 @@ impl Psigene {
             .map(|(i, _)| i)
             .collect();
         out.signatures = keep.iter().map(|&i| self.signatures[i].clone()).collect();
-        out.state.centroids = keep.iter().map(|&i| self.state.centroids[i].clone()).collect();
+        out.state.centroids = keep
+            .iter()
+            .map(|&i| self.state.centroids[i].clone())
+            .collect();
         out.state.radii = keep.iter().map(|&i| self.state.radii[i]).collect();
         out.state.attack_rows = keep
             .iter()
@@ -372,7 +399,7 @@ pub(crate) fn fit_signature(
         }
     }
     let mut y = vec![true; na];
-    y.extend(std::iter::repeat(false).take(nb));
+    y.extend(std::iter::repeat_n(false, nb));
     let fit = train_logreg(&x, &y, opts);
     GeneralizedSignature {
         id,

@@ -19,6 +19,30 @@ pub struct ClusterInfo {
     pub zero_fraction: f64,
 }
 
+/// Wall-clock cost of each pipeline phase, in seconds. Zero means the
+/// phase did not run in this invocation (e.g.
+/// [`Psigene::train_from_datasets`](crate::Psigene::train_from_datasets)
+/// skips the crawl). The same durations are recorded as
+/// `span.pipeline.*` histograms in the global telemetry registry.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PhaseTimings {
+    /// Phase 1: webcrawling + benign-corpus generation.
+    pub crawl: f64,
+    /// Phase 2: feature extraction over both corpora.
+    pub extract: f64,
+    /// Phase 3: biclustering and membership assignment.
+    pub bicluster: f64,
+    /// Phase 4: per-cluster logistic-regression training.
+    pub train: f64,
+}
+
+impl PhaseTimings {
+    /// Total wall-clock across the recorded phases.
+    pub fn total(&self) -> f64 {
+        self.crawl + self.extract + self.bicluster + self.train
+    }
+}
+
 /// Everything the pipeline learned about its own run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PipelineReport {
@@ -45,14 +69,15 @@ pub struct PipelineReport {
     pub clustered_directly: usize,
     /// Per-cluster details (Table VI).
     pub clusters: Vec<ClusterInfo>,
+    /// Wall-clock spent in each phase.
+    pub phase_seconds: PhaseTimings,
 }
 
 impl PipelineReport {
     /// Renders Table VI as aligned text.
     pub fn render_table_vi(&self) -> String {
-        let mut out = String::from(
-            "BICLUSTER  SAMPLES  FEATURES(BICLUSTERING)  FEATURES(SIGNATURE)\n",
-        );
+        let mut out =
+            String::from("BICLUSTER  SAMPLES  FEATURES(BICLUSTERING)  FEATURES(SIGNATURE)\n");
         for c in &self.clusters {
             if c.black_hole {
                 out.push_str(&format!(

@@ -67,8 +67,13 @@ pub fn generate(config: &ArachniConfig) -> Dataset {
             }
             t -= w;
         }
-        ds.samples
-            .push(attack_request(vuln, family, &config.profile, &mut rng, Source::Arachni));
+        ds.samples.push(attack_request(
+            vuln,
+            family,
+            &config.profile,
+            &mut rng,
+            Source::Arachni,
+        ));
     }
     ds
 }
@@ -91,7 +96,10 @@ mod tests {
 
     #[test]
     fn encoded_share_is_heavier_than_sqlmap() {
-        let a = generate(&ArachniConfig { samples: 4000, ..Default::default() });
+        let a = generate(&ArachniConfig {
+            samples: 4000,
+            ..Default::default()
+        });
         let s = crate::sqlmap::generate(&crate::sqlmap::SqlmapConfig {
             samples: 4000,
             ..Default::default()
@@ -113,10 +121,24 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = generate(&ArachniConfig { samples: 30, ..Default::default() });
-        let b = generate(&ArachniConfig { samples: 30, ..Default::default() });
-        let qa: Vec<_> = a.samples.iter().map(|s| s.request.raw_query.clone()).collect();
-        let qb: Vec<_> = b.samples.iter().map(|s| s.request.raw_query.clone()).collect();
+        let a = generate(&ArachniConfig {
+            samples: 30,
+            ..Default::default()
+        });
+        let b = generate(&ArachniConfig {
+            samples: 30,
+            ..Default::default()
+        });
+        let qa: Vec<_> = a
+            .samples
+            .iter()
+            .map(|s| s.request.raw_query.clone())
+            .collect();
+        let qb: Vec<_> = b
+            .samples
+            .iter()
+            .map(|s| s.request.raw_query.clone())
+            .collect();
         assert_eq!(qa, qb);
     }
 }

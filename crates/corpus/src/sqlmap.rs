@@ -76,8 +76,13 @@ pub fn generate(config: &SqlmapConfig) -> Dataset {
     for i in 0..config.samples {
         let vuln = &vulns[i % vulns.len()];
         let family = weighted_family(&mut rng, TECHNIQUES);
-        ds.samples
-            .push(attack_request(vuln, family, &config.profile, &mut rng, Source::Sqlmap));
+        ds.samples.push(attack_request(
+            vuln,
+            family,
+            &config.profile,
+            &mut rng,
+            Source::Sqlmap,
+        ));
     }
     ds
 }
@@ -148,10 +153,24 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = generate(&SqlmapConfig { samples: 40, ..Default::default() });
-        let b = generate(&SqlmapConfig { samples: 40, ..Default::default() });
-        let qa: Vec<_> = a.samples.iter().map(|s| s.request.raw_query.clone()).collect();
-        let qb: Vec<_> = b.samples.iter().map(|s| s.request.raw_query.clone()).collect();
+        let a = generate(&SqlmapConfig {
+            samples: 40,
+            ..Default::default()
+        });
+        let b = generate(&SqlmapConfig {
+            samples: 40,
+            ..Default::default()
+        });
+        let qa: Vec<_> = a
+            .samples
+            .iter()
+            .map(|s| s.request.raw_query.clone())
+            .collect();
+        let qb: Vec<_> = b
+            .samples
+            .iter()
+            .map(|s| s.request.raw_query.clone())
+            .collect();
         assert_eq!(qa, qb);
     }
 }

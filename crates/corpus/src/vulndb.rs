@@ -75,18 +75,34 @@ pub fn table1_examples() -> Vec<Vulnerability> {
 pub fn catalog() -> Vec<Vulnerability> {
     let mut v = table1_examples();
     let apps: &[(&str, &str, &str)] = &[
-        ("WordPress 3.3 token-manager plugin", "/wp-content/plugins/token-manager/view.php", "tid"),
+        (
+            "WordPress 3.3 token-manager plugin",
+            "/wp-content/plugins/token-manager/view.php",
+            "tid",
+        ),
         ("phpBB 3.0 gallery mod", "/gallery/image.php", "image_id"),
-        ("osCommerce 2.3 product catalog", "/product_info.php", "products_id"),
+        (
+            "osCommerce 2.3 product catalog",
+            "/product_info.php",
+            "products_id",
+        ),
         ("vBulletin 4.1 member list", "/memberlist.php", "userid"),
         ("MyBB 1.6 private messages", "/private.php", "pmid"),
-        ("PrestaShop 1.4 search module", "/modules/search/search.php", "q"),
+        (
+            "PrestaShop 1.4 search module",
+            "/modules/search/search.php",
+            "q",
+        ),
         ("Piwigo 2.4 picture view", "/picture.php", "image_id"),
         ("e107 1.0 news extend", "/news.php", "extend"),
         ("Zen Cart 1.5 index", "/index.php", "cPath"),
         ("OpenCart 1.5 product page", "/index.php", "product_id"),
         ("SMF 2.0 topic view", "/index.php", "topic"),
-        ("XOOPS 2.5 article module", "/modules/article/view.php", "article_id"),
+        (
+            "XOOPS 2.5 article module",
+            "/modules/article/view.php",
+            "article_id",
+        ),
         ("Dolphin 7.0 profile view", "/profile.php", "ID"),
         ("ClipBucket 2.6 video view", "/watch_video.php", "v"),
         ("Coppermine 1.5 album display", "/displayimage.php", "album"),
@@ -98,7 +114,11 @@ pub fn catalog() -> Vec<Vulnerability> {
         ("Pligg 1.2 story view", "/story.php", "id"),
         ("CMS Made Simple 1.10 news", "/index.php", "articleid"),
         ("Concrete5 5.5 page view", "/index.php", "cID"),
-        ("ImpressCMS 1.3 content page", "/modules/content/index.php", "page"),
+        (
+            "ImpressCMS 1.3 content page",
+            "/modules/content/index.php",
+            "page",
+        ),
         ("Jamroom 4.1 media player", "/play.php", "song_id"),
         ("qdPM 8.0 task view", "/index.php", "task_id"),
     ];

@@ -42,7 +42,9 @@ pub fn extract_matrix(set: &FeatureSet, payloads: &[&[u8]], threads: usize) -> C
         for p in payloads {
             b.push_row(&extract_row(set, p));
         }
-        return b.build();
+        let m = b.build();
+        record_matrix_telemetry(&m, set.len());
+        return m;
     }
     // Chunk the payloads; each worker extracts its slice, results are
     // reassembled in order.
@@ -51,9 +53,9 @@ pub fn extract_matrix(set: &FeatureSet, payloads: &[&[u8]], threads: usize) -> C
     crossbeam::scope(|scope| {
         let mut handles = Vec::new();
         for ch in payloads.chunks(chunk) {
-            handles.push(scope.spawn(move |_| {
-                ch.iter().map(|p| extract_row(set, p)).collect::<Vec<_>>()
-            }));
+            handles.push(
+                scope.spawn(move |_| ch.iter().map(|p| extract_row(set, p)).collect::<Vec<_>>()),
+            );
         }
         for h in handles {
             results.push(h.join().expect("extraction worker panicked"));
@@ -66,7 +68,28 @@ pub fn extract_matrix(set: &FeatureSet, payloads: &[&[u8]], threads: usize) -> C
             b.push_row(&row);
         }
     }
-    b.build()
+    let m = b.build();
+    record_matrix_telemetry(&m, set.len());
+    m
+}
+
+/// Accounts one extracted matrix in the global registry: every
+/// sample×feature cell costs one regex evaluation (`count_all`), and
+/// the fill rate is the fraction of nonzero cells.
+fn record_matrix_telemetry(m: &CsrMatrix, features: usize) {
+    let telemetry = psigene_telemetry::global();
+    telemetry
+        .counter("features.regex_evals")
+        .add((m.rows() * features) as u64);
+    telemetry
+        .counter("features.rows_extracted")
+        .add(m.rows() as u64);
+    let cells = m.rows() * m.cols();
+    if cells > 0 {
+        telemetry
+            .gauge("features.matrix_fill_rate")
+            .set(m.nnz() as f64 / cells as f64);
+    }
 }
 
 #[cfg(test)]

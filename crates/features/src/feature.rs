@@ -29,9 +29,7 @@ impl Feature {
         source: FeatureSource,
     ) -> Result<Feature, psigene_regex::Error> {
         let pattern = pattern.into();
-        let regex = RegexBuilder::new()
-            .case_insensitive(true)
-            .build(&pattern)?;
+        let regex = RegexBuilder::new().case_insensitive(true).build(&pattern)?;
         Ok(Feature {
             id,
             name: name.into(),

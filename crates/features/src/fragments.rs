@@ -259,7 +259,11 @@ mod tests {
         for f in SIGNATURE_FRAGMENTS {
             assert!(set.insert(f), "duplicate fragment {f:?}");
         }
-        assert!(SIGNATURE_FRAGMENTS.len() >= 120, "{}", SIGNATURE_FRAGMENTS.len());
+        assert!(
+            SIGNATURE_FRAGMENTS.len() >= 120,
+            "{}",
+            SIGNATURE_FRAGMENTS.len()
+        );
     }
 
     #[test]
@@ -293,7 +297,10 @@ mod tests {
     #[test]
     fn fragments_hit_their_targets() {
         let check = |pat: &str, hay: &[u8]| {
-            let re = RegexBuilder::new().case_insensitive(true).build(pat).unwrap();
+            let re = RegexBuilder::new()
+                .case_insensitive(true)
+                .build(pat)
+                .unwrap();
             assert!(re.is_match(hay), "{pat:?} should match {hay:?}");
         };
         check(r"union\s+select", b"1 union select 2");
@@ -301,7 +308,10 @@ mod tests {
         check(r"floor\s*\(rand\s*\(", b"floor(rand(0)*2)");
         check(r"0x[0-9a-f]{2,}", b"concat(0x7e)");
         check(r"into\s+(out|dump)file", b"into outfile '/tmp/x'");
-        check(r"\d+\s*;\s*(drop|insert|update|delete|shutdown)", b"1; drop table users");
+        check(
+            r"\d+\s*;\s*(drop|insert|update|delete|shutdown)",
+            b"1; drop table users",
+        );
     }
 
     #[test]

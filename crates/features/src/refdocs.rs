@@ -116,7 +116,11 @@ mod tests {
         for p in REFERENCE_PATTERNS {
             assert!(set.insert(p), "duplicate {p:?}");
         }
-        assert!(REFERENCE_PATTERNS.len() >= 60, "{}", REFERENCE_PATTERNS.len());
+        assert!(
+            REFERENCE_PATTERNS.len() >= 60,
+            "{}",
+            REFERENCE_PATTERNS.len()
+        );
     }
 
     #[test]
@@ -132,7 +136,10 @@ mod tests {
     #[test]
     fn cheat_sheet_idioms_match_their_payloads() {
         let check = |pat: &str, hay: &[u8]| {
-            let re = RegexBuilder::new().case_insensitive(true).build(pat).unwrap();
+            let re = RegexBuilder::new()
+                .case_insensitive(true)
+                .build(pat)
+                .unwrap();
             assert!(re.is_match(hay), "{pat:?} should match {hay:?}");
         };
         check(r"'\s*or\s*'1'\s*=\s*'1", b"x' or '1'='1");

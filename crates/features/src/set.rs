@@ -37,15 +37,25 @@ impl FeatureSet {
         }
         for frag in SIGNATURE_FRAGMENTS {
             features.push(
-                Feature::new(id, format!("sig:{frag}"), *frag, FeatureSource::NidsSignatures)
-                    .expect("signature fragment compiles"),
+                Feature::new(
+                    id,
+                    format!("sig:{frag}"),
+                    *frag,
+                    FeatureSource::NidsSignatures,
+                )
+                .expect("signature fragment compiles"),
             );
             id += 1;
         }
         for pat in REFERENCE_PATTERNS {
             features.push(
-                Feature::new(id, format!("ref:{pat}"), *pat, FeatureSource::ReferenceDocuments)
-                    .expect("reference pattern compiles"),
+                Feature::new(
+                    id,
+                    format!("ref:{pat}"),
+                    *pat,
+                    FeatureSource::ReferenceDocuments,
+                )
+                .expect("reference pattern compiles"),
             );
             id += 1;
         }
@@ -84,12 +94,7 @@ impl FeatureSet {
     pub fn source_histogram(&self) -> Vec<(FeatureSource, usize)> {
         FeatureSource::ALL
             .iter()
-            .map(|&s| {
-                (
-                    s,
-                    self.features.iter().filter(|f| f.source == s).count(),
-                )
-            })
+            .map(|&s| (s, self.features.iter().filter(|f| f.source == s).count()))
             .collect()
     }
 

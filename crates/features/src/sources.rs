@@ -52,12 +52,8 @@ impl FeatureSource {
     pub fn examples(&self) -> &'static [&'static str] {
         match self {
             FeatureSource::ReservedWords => &["create", "insert", "delete"],
-            FeatureSource::NidsSignatures => {
-                &[r"in\s*?\(+\s*?select", r"\)?;", r"[^a-zA-Z&]+="]
-            }
-            FeatureSource::ReferenceDocuments => {
-                &["' ORDER BY [0-9]-- -", r"/\*/", "\\\""]
-            }
+            FeatureSource::NidsSignatures => &[r"in\s*?\(+\s*?select", r"\)?;", r"[^a-zA-Z&]+="],
+            FeatureSource::ReferenceDocuments => &["' ORDER BY [0-9]-- -", r"/\*/", "\\\""],
         }
     }
 }

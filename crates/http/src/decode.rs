@@ -46,12 +46,9 @@ pub fn unicode_decode(input: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(input.len());
     let mut i = 0;
     while i < input.len() {
-        if input[i] == b'%'
-            && i + 5 < input.len()
-            && (input[i + 1] == b'u' || input[i + 1] == b'U')
+        if input[i] == b'%' && i + 5 < input.len() && (input[i + 1] == b'u' || input[i + 1] == b'U')
         {
-            let digits: Option<Vec<u8>> =
-                (2..6).map(|k| hex(input.get(i + k))).collect();
+            let digits: Option<Vec<u8>> = (2..6).map(|k| hex(input.get(i + k))).collect();
             if let Some(d) = digits {
                 let cp =
                     (d[0] as u32) << 12 | (d[1] as u32) << 8 | (d[2] as u32) << 4 | d[3] as u32;

@@ -74,7 +74,10 @@ mod tests {
 
     #[test]
     fn render_roundtrip_unencoded() {
-        let params = vec![("a".to_string(), "1".to_string()), ("b".to_string(), "x y".to_string())];
+        let params = vec![
+            ("a".to_string(), "1".to_string()),
+            ("b".to_string(), "x y".to_string()),
+        ];
         assert_eq!(render_params(&params), "a=1&b=x y");
     }
 }

@@ -126,9 +126,7 @@ impl HttpRequest {
         out.extend_from_slice(self.host.as_bytes());
         out.extend_from_slice(b"\r\n");
         if !self.body.is_empty() {
-            out.extend_from_slice(
-                format!("Content-Length: {}\r\n", self.body.len()).as_bytes(),
-            );
+            out.extend_from_slice(format!("Content-Length: {}\r\n", self.body.len()).as_bytes());
         }
         out.extend_from_slice(b"\r\n");
         out.extend_from_slice(&self.body);
@@ -138,7 +136,13 @@ impl HttpRequest {
 
 impl fmt::Display for HttpRequest {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} {} (host {})", self.method, self.request_target(), self.host)
+        write!(
+            f,
+            "{} {} (host {})",
+            self.method,
+            self.request_target(),
+            self.host
+        )
     }
 }
 

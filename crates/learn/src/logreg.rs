@@ -37,13 +37,7 @@ impl LogisticModel {
     /// Panics when `x.len() != self.weights.len()`.
     pub fn predict_proba(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.weights.len(), "feature dimension mismatch");
-        let z = self.bias
-            + self
-                .weights
-                .iter()
-                .zip(x)
-                .map(|(w, v)| w * v)
-                .sum::<f64>();
+        let z = self.bias + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
         sigmoid(z)
     }
 
@@ -126,6 +120,8 @@ pub fn train(x: &Matrix, y: &[bool], opts: &TrainOptions) -> TrainResult {
     let mut newton_iterations = 0;
     let mut cg_iterations = 0;
     let mut converged = false;
+    let mut final_gnorm = f64::INFINITY;
+    let pcg_per_solve = psigene_telemetry::histogram("learn.pcg_iterations_per_solve");
 
     for _ in 0..opts.max_newton_iters {
         // Forward pass.
@@ -145,8 +141,8 @@ pub fn train(x: &Matrix, y: &[bool], opts: &TrainOptions) -> TrainResult {
             *gw += opts.l2 * wi;
         }
         let grad_b: f64 = resid.iter().sum();
-        let gnorm = (grad_w.iter().map(|g| g * g).sum::<f64>() + grad_b * grad_b).sqrt()
-            / n as f64;
+        let gnorm = (grad_w.iter().map(|g| g * g).sum::<f64>() + grad_b * grad_b).sqrt() / n as f64;
+        final_gnorm = gnorm;
         if gnorm <= opts.tol {
             converged = true;
             break;
@@ -175,10 +171,10 @@ pub fn train(x: &Matrix, y: &[bool], opts: &TrainOptions) -> TrainResult {
         // Jacobi preconditioner: diag(H).
         let mut diag = vec![0.0; d + 1];
         diag[0] = s.iter().sum::<f64>().max(1e-10);
-        for r in 0..n {
+        for (r, &sr) in s.iter().enumerate() {
             let row = x.row(r);
             for (j, &xr) in row.iter().enumerate() {
-                diag[j + 1] += s[r] * xr * xr;
+                diag[j + 1] += sr * xr * xr;
             }
         }
         for dj in diag.iter_mut().skip(1) {
@@ -194,6 +190,7 @@ pub fn train(x: &Matrix, y: &[bool], opts: &TrainOptions) -> TrainResult {
         }
         let sol = pcg::solve(apply_h, &rhs, &diag, 1e-8, opts.max_cg_iters);
         cg_iterations += sol.iterations;
+        pcg_per_solve.record(sol.iterations as u64);
 
         // Backtracking line search on the NLL.
         let loss0 = loss(x, y, bias, &w, opts.l2);
@@ -220,6 +217,22 @@ pub fn train(x: &Matrix, y: &[bool], opts: &TrainOptions) -> TrainResult {
         }
     }
     let final_loss = loss(x, y, bias, &w, opts.l2) / n as f64;
+    let telemetry = psigene_telemetry::global();
+    telemetry.counter("learn.solves").inc();
+    telemetry
+        .counter("learn.newton_iterations")
+        .add(newton_iterations as u64);
+    telemetry
+        .counter("learn.pcg_iterations")
+        .add(cg_iterations as u64);
+    if converged {
+        telemetry.counter("learn.converged_solves").inc();
+    }
+    if final_gnorm.is_finite() {
+        telemetry
+            .gauge("learn.final_gradient_norm")
+            .set(final_gnorm);
+    }
     TrainResult {
         model: LogisticModel { bias, weights: w },
         newton_iterations,
@@ -270,7 +283,10 @@ mod tests {
     #[test]
     fn learns_linearly_separable_data() {
         // y = 1 iff x > 0.
-        let xs: Vec<f64> = (-20..=20).filter(|&v| v != 0).map(|v| v as f64 / 2.0).collect();
+        let xs: Vec<f64> = (-20..=20)
+            .filter(|&v| v != 0)
+            .map(|v| v as f64 / 2.0)
+            .collect();
         let n = xs.len();
         let x = Matrix::from_rows(n, 1, xs.clone());
         let y: Vec<bool> = xs.iter().map(|&v| v > 0.0).collect();
@@ -310,8 +326,22 @@ mod tests {
         let n = xs.len();
         let x = Matrix::from_rows(n, 1, xs.clone());
         let y: Vec<bool> = xs.iter().map(|&v| v > 0.0).collect();
-        let small = train(&x, &y, &TrainOptions { l2: 1e-4, ..Default::default() });
-        let large = train(&x, &y, &TrainOptions { l2: 10.0, ..Default::default() });
+        let small = train(
+            &x,
+            &y,
+            &TrainOptions {
+                l2: 1e-4,
+                ..Default::default()
+            },
+        );
+        let large = train(
+            &x,
+            &y,
+            &TrainOptions {
+                l2: 10.0,
+                ..Default::default()
+            },
+        );
         assert!(large.model.weights[0].abs() < small.model.weights[0].abs());
     }
 
@@ -329,7 +359,14 @@ mod tests {
             labels.push(i > 0);
         }
         let x = Matrix::from_rows(labels.len(), 2, rows);
-        let res = train(&x, &labels, &TrainOptions { l2: 0.1, ..Default::default() });
+        let res = train(
+            &x,
+            &labels,
+            &TrainOptions {
+                l2: 0.1,
+                ..Default::default()
+            },
+        );
         assert!(res.model.weights[0].abs() > 5.0 * res.model.weights[1].abs());
         // The irrelevant feature is pruned to (numerically) zero —
         // the same pruning the paper observes LR doing per cluster.

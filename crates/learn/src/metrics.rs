@@ -36,17 +36,26 @@ impl ConfusionMatrix {
 
     /// True-positive rate (recall); 0 when no attacks were seen.
     pub fn tpr(&self) -> f64 {
-        ratio(self.true_positives, self.true_positives + self.false_negatives)
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_negatives,
+        )
     }
 
     /// False-positive rate; 0 when no benign traffic was seen.
     pub fn fpr(&self) -> f64 {
-        ratio(self.false_positives, self.false_positives + self.true_negatives)
+        ratio(
+            self.false_positives,
+            self.false_positives + self.true_negatives,
+        )
     }
 
     /// Precision; 0 when nothing was flagged.
     pub fn precision(&self) -> f64 {
-        ratio(self.true_positives, self.true_positives + self.false_positives)
+        ratio(
+            self.true_positives,
+            self.true_positives + self.false_positives,
+        )
     }
 
     /// F1 score; 0 when undefined.
@@ -62,10 +71,7 @@ impl ConfusionMatrix {
 
     /// Overall accuracy.
     pub fn accuracy(&self) -> f64 {
-        ratio(
-            self.true_positives + self.true_negatives,
-            self.total(),
-        )
+        ratio(self.true_positives + self.true_negatives, self.total())
     }
 
     /// Total observations.

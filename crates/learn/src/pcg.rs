@@ -128,9 +128,7 @@ mod tests {
     fn preconditioner_accelerates_ill_conditioned_systems() {
         // Diagonal system with huge condition number.
         let diag: Vec<f64> = (0..50).map(|i| 10f64.powi(i % 8)).collect();
-        let apply = |x: &[f64]| -> Vec<f64> {
-            x.iter().zip(&diag).map(|(v, d)| v * d).collect()
-        };
+        let apply = |x: &[f64]| -> Vec<f64> { x.iter().zip(&diag).map(|(v, d)| v * d).collect() };
         let b = vec![1.0; 50];
         let with = solve(apply, &b, &diag, 1e-10, 1000);
         let without = solve(apply, &b, &vec![1.0; 50], 1e-10, 1000);
@@ -152,7 +150,13 @@ mod tests {
             vec![1.0, 4.0, 1.0],
             vec![0.0, 1.0, 3.0],
         ];
-        let res = solve(|x| matvec(&a, x), &[1.0, 0.0, 1.0], &[5.0, 4.0, 3.0], 1e-12, 10);
+        let res = solve(
+            |x| matvec(&a, x),
+            &[1.0, 0.0, 1.0],
+            &[5.0, 4.0, 3.0],
+            1e-12,
+            10,
+        );
         assert!(res.converged);
         assert!(res.iterations <= 4);
         // Verify residual directly.

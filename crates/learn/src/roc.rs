@@ -54,8 +54,16 @@ impl RocCurve {
             }
             points.push(RocPoint {
                 threshold: t,
-                fpr: if neg == 0 { 0.0 } else { fp as f64 / neg as f64 },
-                tpr: if pos == 0 { 0.0 } else { tp as f64 / pos as f64 },
+                fpr: if neg == 0 {
+                    0.0
+                } else {
+                    fp as f64 / neg as f64
+                },
+                tpr: if pos == 0 {
+                    0.0
+                } else {
+                    tp as f64 / pos as f64
+                },
             });
         }
         RocCurve { points }

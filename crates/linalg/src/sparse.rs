@@ -292,9 +292,7 @@ mod tests {
         let d = m.to_dense();
         for a in 0..3 {
             for b in 0..3 {
-                let dense: f64 = (0..4)
-                    .map(|c| (d.get(a, c) - d.get(b, c)).powi(2))
-                    .sum();
+                let dense: f64 = (0..4).map(|c| (d.get(a, c) - d.get(b, c)).powi(2)).sum();
                 assert!((m.row_distance_sq(a, b) - dense).abs() < 1e-12);
             }
         }

@@ -54,7 +54,11 @@ pub fn standardize_columns(m: &Matrix) -> Matrix {
         let mu = mean(&col);
         let sd = std_dev(&col);
         for r in 0..m.rows() {
-            let v = if sd == 0.0 { 0.0 } else { (m.get(r, c) - mu) / sd };
+            let v = if sd == 0.0 {
+                0.0
+            } else {
+                (m.get(r, c) - mu) / sd
+            };
             out.set(r, c, v);
         }
     }

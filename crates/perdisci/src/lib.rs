@@ -121,7 +121,12 @@ impl PerdisciSystem {
             .collect();
         let n_all = all_payloads.len();
         if n_all < 2 {
-            return (PerdisciSystem { signatures: Vec::new() }, report);
+            return (
+                PerdisciSystem {
+                    signatures: Vec::new(),
+                },
+                report,
+            );
         }
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
         let chosen: Vec<usize> = if n_all > config.cluster_cap {
@@ -165,11 +170,7 @@ impl PerdisciSystem {
         for m in members.into_iter().filter(|m| m.len() >= 2) {
             // Token extraction is O(|C| · samples · scan); derive the
             // invariant from a bounded prefix of the membership.
-            let refs: Vec<&[u8]> = m
-                .iter()
-                .take(30)
-                .map(|&i| payloads[i].as_slice())
-                .collect();
+            let refs: Vec<&[u8]> = m.iter().take(30).map(|&i| payloads[i].as_slice()).collect();
             if let Some(sig) = TokenSignature::from_samples(&refs, config.min_token_len) {
                 if sig.total_len() >= config.min_signature_len {
                     clusters.push(SignedCluster {

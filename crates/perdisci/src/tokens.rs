@@ -188,9 +188,15 @@ mod tests {
 
     #[test]
     fn signature_distance_reflects_similarity() {
-        let a = TokenSignature { tokens: vec![b"union select".to_vec()] };
-        let b = TokenSignature { tokens: vec![b"union select".to_vec()] };
-        let c = TokenSignature { tokens: vec![b"drop table".to_vec()] };
+        let a = TokenSignature {
+            tokens: vec![b"union select".to_vec()],
+        };
+        let b = TokenSignature {
+            tokens: vec![b"union select".to_vec()],
+        };
+        let c = TokenSignature {
+            tokens: vec![b"drop table".to_vec()],
+        };
         assert_eq!(a.distance(&b), 0.0);
         assert!(a.distance(&c) > 0.5);
     }

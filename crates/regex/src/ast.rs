@@ -96,7 +96,10 @@ mod tests {
         assert!(Ast::Empty.is_nullable());
         assert!(Ast::StartText.is_nullable());
         assert!(!Ast::Literal(b'a').is_nullable());
-        assert!(!Ast::Dot { matches_newline: true }.is_nullable());
+        assert!(!Ast::Dot {
+            matches_newline: true
+        }
+        .is_nullable());
     }
 
     #[test]

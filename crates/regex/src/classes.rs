@@ -71,7 +71,7 @@ impl ClassSet {
         let mut next = 0u16; // u16 avoids overflow past 255
         for r in &self.ranges {
             if (r.lo as u16) > next {
-                out.push(ByteRange::new(next as u8, (r.lo - 1) as u8));
+                out.push(ByteRange::new(next as u8, r.lo - 1));
             }
             next = r.hi as u16 + 1;
         }

@@ -218,12 +218,7 @@ impl Regex {
 
     /// Like [`Regex::find_at`] but reusing caller-provided scratch
     /// space; use this in match loops.
-    pub fn find_at_with(
-        &self,
-        hay: &[u8],
-        start: usize,
-        cache: &mut vm::VmCache,
-    ) -> Option<Match> {
+    pub fn find_at_with(&self, hay: &[u8], start: usize, cache: &mut vm::VmCache) -> Option<Match> {
         vm::find_at(&self.prog, hay, start, cache).map(|Span { start, end }| Match { start, end })
     }
 
@@ -329,11 +324,23 @@ mod tests {
         let cases: &[(&str, &[u8], bool)] = &[
             (r"(?i)\)?;", b"abc); drop", true),
             (r"(?i)in\s*?\(+\s*?select", b"WHERE x IN (SELECT y)", true),
-            (r"(?i)<=>|r?like|sounds\s+like|regex", b"1 SOUNDS LIKE 2", true),
+            (
+                r"(?i)<=>|r?like|sounds\s+like|regex",
+                b"1 SOUNDS LIKE 2",
+                true,
+            ),
             (r"=[-0-9%]*", b"id=-15%", true),
             (r"(?i)ch(a)?r\s*?\(\s*?\d", b"concat(char(58))", true),
-            (r"(?i)union\s+(all\s+)?select", b"1 union all select 2", true),
-            (r"(?i)union\s+(all\s+)?select", b"community selection", false),
+            (
+                r"(?i)union\s+(all\s+)?select",
+                b"1 union all select 2",
+                true,
+            ),
+            (
+                r"(?i)union\s+(all\s+)?select",
+                b"community selection",
+                false,
+            ),
         ];
         for (pat, hay, want) in cases {
             let re = Regex::new(pat).unwrap();

@@ -403,9 +403,7 @@ impl<'p> Parser<'p> {
                     None => return Err(self.err(ErrorKind::UnclosedClass)),
                     Some(b'\\') => match self.class_escape()? {
                         ClassItem::Byte(v) => v,
-                        ClassItem::Set(_) => {
-                            return Err(self.err(ErrorKind::InvalidClassRange))
-                        }
+                        ClassItem::Set(_) => return Err(self.err(ErrorKind::InvalidClassRange)),
                     },
                     Some(v) => v,
                 };
@@ -505,13 +503,17 @@ mod tests {
     #[test]
     fn quantifiers() {
         match p("a+?") {
-            Ast::Repeat { min, max, greedy, .. } => {
+            Ast::Repeat {
+                min, max, greedy, ..
+            } => {
                 assert_eq!((min, max, greedy), (1, None, false));
             }
             other => panic!("unexpected {other:?}"),
         }
         match p("a{2,5}") {
-            Ast::Repeat { min, max, greedy, .. } => {
+            Ast::Repeat {
+                min, max, greedy, ..
+            } => {
                 assert_eq!((min, max, greedy), (2, Some(5), true));
             }
             other => panic!("unexpected {other:?}"),

@@ -45,8 +45,7 @@ impl Prefilter {
             return None;
         }
         let buckets = if lits.len() > BUCKETED_THRESHOLD {
-            let mut b: Box<[Vec<u32>; 256]> =
-                Box::new(std::array::from_fn(|_| Vec::new()));
+            let mut b: Box<[Vec<u32>; 256]> = Box::new(std::array::from_fn(|_| Vec::new()));
             for (i, lit) in lits.iter().enumerate() {
                 b[lit[0] as usize].push(i as u32);
             }
@@ -70,9 +69,7 @@ impl Prefilter {
                     let rest = &hay[i..];
                     for &li in &buckets[b.to_ascii_lowercase() as usize] {
                         let lit = &self.literals[li as usize];
-                        if lit.len() <= rest.len()
-                            && rest[..lit.len()].eq_ignore_ascii_case(lit)
-                        {
+                        if lit.len() <= rest.len() && rest[..lit.len()].eq_ignore_ascii_case(lit) {
                             return true;
                         }
                     }
@@ -168,10 +165,7 @@ fn required_literals(ast: &Ast) -> Option<Vec<Vec<u8>>> {
                 // alternatives.
                 let better = cand_min > best_min
                     || (cand_min == best_min
-                        && best
-                            .as_ref()
-                            .map(|b| cand.len() < b.len())
-                            .unwrap_or(true));
+                        && best.as_ref().map(|b| cand.len() < b.len()).unwrap_or(true));
                 if better && cand_min > 0 {
                     *best = Some(cand);
                 }

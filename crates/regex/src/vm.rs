@@ -79,12 +79,7 @@ impl ThreadList {
 
 /// Runs a leftmost-first search over `hay[start..]`, returning the
 /// first (leftmost) match span.
-pub fn find_at(
-    prog: &Program,
-    hay: &[u8],
-    start: usize,
-    cache: &mut VmCache,
-) -> Option<Span> {
+pub fn find_at(prog: &Program, hay: &[u8], start: usize, cache: &mut VmCache) -> Option<Span> {
     if prog.is_empty() || start > hay.len() {
         return None;
     }
@@ -246,12 +241,21 @@ fn add_thread(
         }
         list.mark(p.pc);
         match &prog.insts[p.pc as usize] {
-            Inst::Jmp(t) => stack.push(PendingThread { pc: *t, start: p.start }),
+            Inst::Jmp(t) => stack.push(PendingThread {
+                pc: *t,
+                start: p.start,
+            }),
             Inst::Split(a, b) => {
                 // Push the low-priority arm first so the preferred arm
                 // is processed (and queued) first.
-                stack.push(PendingThread { pc: *b, start: p.start });
-                stack.push(PendingThread { pc: *a, start: p.start });
+                stack.push(PendingThread {
+                    pc: *b,
+                    start: p.start,
+                });
+                stack.push(PendingThread {
+                    pc: *a,
+                    start: p.start,
+                });
             }
             Inst::StartText => {
                 if pos == 0 {

@@ -106,7 +106,13 @@ impl Rule {
     }
 
     /// Builds a content-only rule.
-    pub fn content(id: u32, name: &str, contents: &[&str], severity: Severity, enabled: bool) -> Rule {
+    pub fn content(
+        id: u32,
+        name: &str,
+        contents: &[&str],
+        severity: Severity,
+        enabled: bool,
+    ) -> Rule {
         Rule {
             id,
             name: name.to_string(),
@@ -133,7 +139,13 @@ mod tests {
 
     #[test]
     fn regex_rule_matching() {
-        let r = Rule::regex(1, "union select", r"union\s+select", Severity::Critical, true);
+        let r = Rule::regex(
+            1,
+            "union select",
+            r"union\s+select",
+            Severity::Critical,
+            true,
+        );
         assert!(r.matches(b"1 UNION SELECT 2"));
         assert!(!r.matches(b"benign"));
         assert!(r.matcher.is_regex());

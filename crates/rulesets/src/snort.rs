@@ -24,57 +24,231 @@ pub fn snort_rules() -> Vec<Rule> {
     use Severity::*;
     let mut rules = vec![
         // The paper's canonical example of an overly simple rule.
-        Rule::regex(19001, "SQL union select", r".+union\s+select", Critical, true),
-        Rule::regex(19002, "SQL union all select", r".+union\s+all\s+select", Critical, true),
+        Rule::regex(
+            19001,
+            "SQL union select",
+            r".+union\s+select",
+            Critical,
+            true,
+        ),
+        Rule::regex(
+            19002,
+            "SQL union all select",
+            r".+union\s+all\s+select",
+            Critical,
+            true,
+        ),
         // The paper's near-duplicate pair 19439/19440 (same regex but
         // the last character) is reproduced verbatim in spirit.
         Rule::regex(19439, "SQL 1 = 1 probe", r"and\s+1\s*=\s*1", Warning, true),
-        Rule::regex(19440, "SQL 1 = 1 probe dash", r"and\s+1\s*=\s*1-", Warning, true),
+        Rule::regex(
+            19440,
+            "SQL 1 = 1 probe dash",
+            r"and\s+1\s*=\s*1-",
+            Warning,
+            true,
+        ),
         Rule::regex(19003, "SQL or 1 = 1", r"or\s+1\s*=\s*1", Critical, true),
         Rule::regex(19004, "SQL quote or", r"'\s*or\s+", Warning, true),
         Rule::regex(19005, "SQL quote or quote", r"'\s*or\s*'", Critical, true),
         Rule::regex(19006, "SQL sleep call", r"sleep\s*\(", Critical, true),
-        Rule::regex(19007, "SQL benchmark call", r"benchmark\s*\(", Critical, true),
-        Rule::regex(19008, "SQL extractvalue", r"extractvalue\s*\(", Critical, true),
+        Rule::regex(
+            19007,
+            "SQL benchmark call",
+            r"benchmark\s*\(",
+            Critical,
+            true,
+        ),
+        Rule::regex(
+            19008,
+            "SQL extractvalue",
+            r"extractvalue\s*\(",
+            Critical,
+            true,
+        ),
         Rule::regex(19009, "SQL updatexml", r"updatexml\s*\(", Critical, true),
-        Rule::regex(19010, "SQL information_schema", r"information_schema", Critical, true),
-        Rule::regex(19011, "SQL stacked drop", r";\s*drop\s+table", Critical, true),
-        Rule::regex(19012, "SQL stacked insert", r";\s*insert\s+into", Critical, true),
-        Rule::regex(19013, "SQL stacked update", r";\s*update\s+", Critical, true),
-        Rule::regex(19014, "SQL stacked delete", r";\s*delete\s+from", Critical, true),
-        Rule::regex(19015, "SQL stacked shutdown", r";\s*shutdown", Critical, true),
-        Rule::regex(19016, "SQL char function", r"char\s*\(\s*\d+", Critical, true),
-        Rule::regex(19017, "SQL order by probe", r"order\s+by\s+[0-9]", Warning, true),
-        Rule::regex(19018, "SQL substring probe", r"substring\s*\(", Warning, true),
+        Rule::regex(
+            19010,
+            "SQL information_schema",
+            r"information_schema",
+            Critical,
+            true,
+        ),
+        Rule::regex(
+            19011,
+            "SQL stacked drop",
+            r";\s*drop\s+table",
+            Critical,
+            true,
+        ),
+        Rule::regex(
+            19012,
+            "SQL stacked insert",
+            r";\s*insert\s+into",
+            Critical,
+            true,
+        ),
+        Rule::regex(
+            19013,
+            "SQL stacked update",
+            r";\s*update\s+",
+            Critical,
+            true,
+        ),
+        Rule::regex(
+            19014,
+            "SQL stacked delete",
+            r";\s*delete\s+from",
+            Critical,
+            true,
+        ),
+        Rule::regex(
+            19015,
+            "SQL stacked shutdown",
+            r";\s*shutdown",
+            Critical,
+            true,
+        ),
+        Rule::regex(
+            19016,
+            "SQL char function",
+            r"char\s*\(\s*\d+",
+            Critical,
+            true,
+        ),
+        Rule::regex(
+            19017,
+            "SQL order by probe",
+            r"order\s+by\s+[0-9]",
+            Warning,
+            true,
+        ),
+        Rule::regex(
+            19018,
+            "SQL substring probe",
+            r"substring\s*\(",
+            Warning,
+            true,
+        ),
         Rule::regex(19019, "SQL ascii probe", r"ascii\s*\(", Warning, true),
         Rule::regex(19020, "SQL load_file", r"load_file\s*\(", Critical, true),
         Rule::regex(19021, "SQL into outfile", r"into\s+outfile", Critical, true),
-        Rule::regex(19022, "SQL into dumpfile", r"into\s+dumpfile", Critical, true),
+        Rule::regex(
+            19022,
+            "SQL into dumpfile",
+            r"into\s+dumpfile",
+            Critical,
+            true,
+        ),
         Rule::regex(19023, "SQL select from", r"select.+from", Warning, true),
-        Rule::regex(19024, "SQL group_concat", r"group_concat\s*\(", Critical, true),
+        Rule::regex(
+            19024,
+            "SQL group_concat",
+            r"group_concat\s*\(",
+            Critical,
+            true,
+        ),
         Rule::regex(19025, "SQL version probe", r"@@version", Warning, true),
         Rule::regex(19026, "SQL comment dash dash", r"--\s*$", Notice, true),
-        Rule::regex(19027, "SQL waitfor delay", r"waitfor\s+delay", Critical, true),
-        Rule::regex(19028, "SQL procedure analyse", r"procedure\s+analyse", Warning, true),
-        Rule::regex(19029, "SQL admin quote comment", r"admin'\s*--", Critical, true),
-        Rule::regex(19030, "SQL hex 0x literal", r"=\s*0x[0-9a-f]{4,}", Warning, true),
+        Rule::regex(
+            19027,
+            "SQL waitfor delay",
+            r"waitfor\s+delay",
+            Critical,
+            true,
+        ),
+        Rule::regex(
+            19028,
+            "SQL procedure analyse",
+            r"procedure\s+analyse",
+            Warning,
+            true,
+        ),
+        Rule::regex(
+            19029,
+            "SQL admin quote comment",
+            r"admin'\s*--",
+            Critical,
+            true,
+        ),
+        Rule::regex(
+            19030,
+            "SQL hex 0x literal",
+            r"=\s*0x[0-9a-f]{4,}",
+            Warning,
+            true,
+        ),
         Rule::regex(19031, "SQL concat 0x", r"concat\s*\(\s*0x", Warning, true),
         Rule::regex(19032, "SQL having probe", r"having\s+[0-9]", Notice, true),
         Rule::regex(19033, "SQL exec xp", r"exec\s+xp_", Critical, true),
         Rule::regex(19034, "SQL double pipe concat", r"'\s*\|\|", Warning, true),
         // Content-only rules (no pcre), as in real sql.rules.
-        Rule::content(19035, "SQL drop table content", &["drop", "table"], Critical, true),
-        Rule::content(19036, "SQL insert into content", &["insert", "into", "values"], Warning, true),
-        Rule::content(19037, "SQL xp_cmdshell content", &["xp_cmdshell"], Critical, true),
+        Rule::content(
+            19035,
+            "SQL drop table content",
+            &["drop", "table"],
+            Critical,
+            true,
+        ),
+        Rule::content(
+            19036,
+            "SQL insert into content",
+            &["insert", "into", "values"],
+            Warning,
+            true,
+        ),
+        Rule::content(
+            19037,
+            "SQL xp_cmdshell content",
+            &["xp_cmdshell"],
+            Critical,
+            true,
+        ),
         Rule::content(19038, "SQL utl_http content", &["utl_http"], Critical, true),
         Rule::content(19039, "SQL dbms_ content", &["dbms_"], Warning, true),
         Rule::content(19040, "SQL waitfor content", &["waitfor"], Warning, true),
-        Rule::content(19041, "SQL sp_password content", &["sp_password"], Critical, true),
-        Rule::content(19042, "SQL begin declare content", &["declare", "@"], Warning, true),
-        Rule::content(19045, "SQL sysobjects content", &["sysobjects"], Critical, true),
-        Rule::content(19046, "SQL syscolumns content", &["syscolumns"], Critical, true),
-        Rule::content(19047, "SQL openrowset content", &["openrowset"], Critical, true),
-        Rule::content(19048, "SQL mssql exec content", &["exec", "master"], Critical, true),
+        Rule::content(
+            19041,
+            "SQL sp_password content",
+            &["sp_password"],
+            Critical,
+            true,
+        ),
+        Rule::content(
+            19042,
+            "SQL begin declare content",
+            &["declare", "@"],
+            Warning,
+            true,
+        ),
+        Rule::content(
+            19045,
+            "SQL sysobjects content",
+            &["sysobjects"],
+            Critical,
+            true,
+        ),
+        Rule::content(
+            19046,
+            "SQL syscolumns content",
+            &["syscolumns"],
+            Critical,
+            true,
+        ),
+        Rule::content(
+            19047,
+            "SQL openrowset content",
+            &["openrowset"],
+            Critical,
+            true,
+        ),
+        Rule::content(
+            19048,
+            "SQL mssql exec content",
+            &["exec", "master"],
+            Critical,
+            true,
+        ),
     ];
     // Disabled tail: overly specific or deprecated rules that ship
     // commented out (the paper: 70 % of the full 20 000-rule Snort
@@ -83,7 +257,10 @@ pub fn snort_rules() -> Vec<Rule> {
         ("SQL MSSQL sa login", r"login\s+sa"),
         ("SQL ODBC error leak", r"\[microsoft\]\[odbc"),
         ("SQL oracle ora- error", r"ora-[0-9]{4,5}"),
-        ("SQL mysql error leak", r"you have an error in your sql syntax"),
+        (
+            "SQL mysql error leak",
+            r"you have an error in your sql syntax",
+        ),
         ("SQL generic equals quote", r"=\s*'"),
         ("SQL generic semicolon", r";"),
         ("SQL generic quote", r"'"),
@@ -113,7 +290,13 @@ pub fn snort_rules() -> Vec<Rule> {
         ("SQL mid() probe", r"mid\s*\("),
     ];
     for (i, (name, pat)) in disabled.iter().enumerate() {
-        rules.push(Rule::regex(19100 + i as u32, name, pat, Severity::Notice, false));
+        rules.push(Rule::regex(
+            19100 + i as u32,
+            name,
+            pat,
+            Severity::Notice,
+            false,
+        ));
     }
     rules
 }
@@ -124,12 +307,48 @@ pub fn snort_rules() -> Vec<Rule> {
 /// regex, and 4 231 strong to mirror Table IV.
 pub fn et_generated_rules() -> Vec<Rule> {
     let params = [
-        "id", "catid", "cid", "pid", "uid", "item", "page", "cat", "article",
-        "product_id", "news_id", "topic", "tid", "sid", "image_id", "gallery",
-        "user", "userid", "aid", "mid", "story", "review", "file", "down",
-        "play", "album", "pic", "show", "ref", "key", "pm_id", "post",
-        "thread", "forum", "board", "msg", "event", "cal", "week", "month",
-        "vid", "video",
+        "id",
+        "catid",
+        "cid",
+        "pid",
+        "uid",
+        "item",
+        "page",
+        "cat",
+        "article",
+        "product_id",
+        "news_id",
+        "topic",
+        "tid",
+        "sid",
+        "image_id",
+        "gallery",
+        "user",
+        "userid",
+        "aid",
+        "mid",
+        "story",
+        "review",
+        "file",
+        "down",
+        "play",
+        "album",
+        "pic",
+        "show",
+        "ref",
+        "key",
+        "pm_id",
+        "post",
+        "thread",
+        "forum",
+        "board",
+        "msg",
+        "event",
+        "cal",
+        "week",
+        "month",
+        "vid",
+        "video",
     ];
     let shells = [
         r"union\s+select",
@@ -363,10 +582,12 @@ mod tests {
         let snort = snort_rules();
         let regex_share =
             snort.iter().filter(|r| r.matcher.is_regex()).count() as f64 / snort.len() as f64;
-        assert!((0.75..=0.90).contains(&regex_share), "snort regex share {regex_share}");
+        assert!(
+            (0.75..=0.90).contains(&regex_share),
+            "snort regex share {regex_share}"
+        );
         let et = et_generated_rules();
-        let et_share =
-            et.iter().filter(|r| r.matcher.is_regex()).count() as f64 / et.len() as f64;
+        let et_share = et.iter().filter(|r| r.matcher.is_regex()).count() as f64 / et.len() as f64;
         assert!(et_share > 0.985, "et regex share {et_share}");
     }
 

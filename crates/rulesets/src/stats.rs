@@ -30,13 +30,24 @@ pub fn compute(name: &str, version: &str, rules: &[Rule]) -> RulesetStats {
     let n = rules.len();
     let enabled = rules.iter().filter(|r| r.enabled).count();
     let regex_rules: Vec<&Rule> = rules.iter().filter(|r| r.matcher.is_regex()).collect();
-    let lens: Vec<usize> = regex_rules.iter().map(|r| r.matcher.pattern_len()).collect();
+    let lens: Vec<usize> = regex_rules
+        .iter()
+        .map(|r| r.matcher.pattern_len())
+        .collect();
     RulesetStats {
         name: name.to_string(),
         version: version.to_string(),
         rules: n,
-        enabled_share: if n == 0 { 0.0 } else { enabled as f64 / n as f64 },
-        regex_share: if n == 0 { 0.0 } else { regex_rules.len() as f64 / n as f64 },
+        enabled_share: if n == 0 {
+            0.0
+        } else {
+            enabled as f64 / n as f64
+        },
+        regex_share: if n == 0 {
+            0.0
+        } else {
+            regex_rules.len() as f64 / n as f64
+        },
         avg_regex_len: if lens.is_empty() {
             0.0
         } else {
@@ -52,7 +63,11 @@ pub fn table_iv() -> Vec<RulesetStats> {
     vec![
         compute("Bro", "2.0", &crate::bro::bro_rules()),
         compute("Snort Rules", "2920", &crate::snort::snort_rules()),
-        compute("Emerging Threats", "7098", &crate::snort::et_generated_rules()),
+        compute(
+            "Emerging Threats",
+            "7098",
+            &crate::snort::et_generated_rules(),
+        ),
         compute("ModSecurity", "2.2.4", &crate::modsec::modsec_rules()),
     ]
 }
@@ -89,7 +104,10 @@ mod tests {
         let t = table_iv();
         assert_eq!(t.len(), 4);
         let bro = &t[0];
-        assert_eq!((bro.rules, bro.enabled_share, bro.regex_share), (6, 1.0, 1.0));
+        assert_eq!(
+            (bro.rules, bro.enabled_share, bro.regex_share),
+            (6, 1.0, 1.0)
+        );
         let snort = &t[1];
         assert_eq!(snort.rules, 79);
         assert!((0.55..0.67).contains(&snort.enabled_share));
@@ -98,7 +116,10 @@ mod tests {
         assert_eq!(et.enabled_share, 0.0);
         assert!(et.regex_share > 0.985);
         let modsec = &t[3];
-        assert_eq!((modsec.rules, modsec.enabled_share, modsec.regex_share), (34, 1.0, 1.0));
+        assert_eq!(
+            (modsec.rules, modsec.enabled_share, modsec.regex_share),
+            (34, 1.0, 1.0)
+        );
     }
 
     #[test]

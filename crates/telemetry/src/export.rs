@@ -1,0 +1,215 @@
+//! Snapshot exporters: aligned text for humans, JSON for tooling.
+//!
+//! The JSON writer is hand-rolled (this crate takes no serialization
+//! dependency): names are escaped per RFC 8259, non-finite floats
+//! render as `null`, and map ordering follows the snapshot's
+//! `BTreeMap`s, so output is deterministic.
+
+use crate::registry::Snapshot;
+use std::fmt::Write;
+
+/// Renders a snapshot as aligned human-readable text.
+pub fn render_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snap.counters.is_empty() {
+        out.push_str("counters:\n");
+        let width = snap.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+        for (name, v) in &snap.counters {
+            let _ = writeln!(out, "  {name:<width$}  {v}");
+        }
+    }
+    if !snap.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        let width = snap.gauges.keys().map(|k| k.len()).max().unwrap_or(0);
+        for (name, v) in &snap.gauges {
+            let _ = writeln!(out, "  {name:<width$}  {v:.6}");
+        }
+    }
+    if !snap.histograms.is_empty() {
+        out.push_str("histograms:\n");
+        let width = snap.histograms.keys().map(|k| k.len()).max().unwrap_or(0);
+        for (name, h) in &snap.histograms {
+            match (h.min(), h.p50(), h.p90(), h.p99(), h.max()) {
+                (Some(min), Some(p50), Some(p90), Some(p99), Some(max)) => {
+                    let _ = writeln!(
+                        out,
+                        "  {name:<width$}  count {:<8} min {min}  p50 {p50}  p90 {p90}  p99 {p99}  max {max}",
+                        h.count()
+                    );
+                }
+                _ => {
+                    let _ = writeln!(out, "  {name:<width$}  count 0");
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Renders a snapshot as a JSON document.
+pub fn render_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    write_entries(&mut out, snap.counters.iter(), |out, v| {
+        let _ = write!(out, "{v}");
+    });
+    out.push_str("},\n  \"gauges\": {");
+    write_entries(&mut out, snap.gauges.iter(), |out, v| write_f64(out, *v));
+    out.push_str("},\n  \"histograms\": {");
+    write_entries(&mut out, snap.histograms.iter(), |out, h| {
+        let _ = write!(out, "{{\"count\": {}", h.count());
+        write_opt_field(out, "min", h.min());
+        write_opt_field(out, "p50", h.p50());
+        write_opt_field(out, "p90", h.p90());
+        write_opt_field(out, "p99", h.p99());
+        write_opt_field(out, "max", h.max());
+        let _ = write!(out, ", \"sum\": {}", h.sum());
+        out.push_str(", \"mean\": ");
+        match h.mean() {
+            Some(m) => write_f64(out, m),
+            None => out.push_str("null"),
+        }
+        out.push_str(", \"buckets\": [");
+        for (i, (lo, c)) in h.nonzero_buckets().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "[{lo}, {c}]");
+        }
+        out.push_str("]}");
+    });
+    out.push_str("}\n}\n");
+    out
+}
+
+fn write_entries<'a, V: 'a>(
+    out: &mut String,
+    entries: impl Iterator<Item = (&'a String, &'a V)>,
+    mut write_value: impl FnMut(&mut String, &V),
+) {
+    let mut first = true;
+    for (name, v) in entries {
+        out.push_str(if first { "\n    " } else { ",\n    " });
+        first = false;
+        out.push('"');
+        escape_into(out, name);
+        out.push_str("\": ");
+        write_value(out, v);
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+fn write_opt_field(out: &mut String, name: &str, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            let _ = write!(out, ", \"{name}\": {v}");
+        }
+        None => {
+            let _ = write!(out, ", \"{name}\": null");
+        }
+    }
+}
+
+/// Writes a float as valid JSON (`null` for NaN/infinities; a `.0`
+/// suffix keeps integral values typed as numbers with a fraction,
+/// matching what lenient parsers expect for f64 round-trips).
+fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        let _ = write!(out, "{v:.1}");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> Snapshot {
+        let r = Registry::new();
+        r.counter("crawler.pages").add(12);
+        r.gauge("fill.rate").set(0.25);
+        let h = r.histogram("span.pipeline.crawl");
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        r.histogram("empty.hist");
+        r.snapshot()
+    }
+
+    #[test]
+    fn text_lists_every_instrument() {
+        let text = render_text(&sample());
+        assert!(text.contains("crawler.pages"));
+        assert!(text.contains("fill.rate"));
+        assert!(text.contains("span.pipeline.crawl"));
+        assert!(text.contains("count 3"));
+        assert!(text.contains("count 0"));
+    }
+
+    #[test]
+    fn json_is_parseable_and_faithful() {
+        let json = render_json(&sample());
+        let v = serde_json::from_str(&json).expect("exporter emits valid JSON");
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("crawler.pages"))
+                .and_then(|n| n.as_u64()),
+            Some(12)
+        );
+        assert_eq!(
+            v.get("gauges")
+                .and_then(|g| g.get("fill.rate"))
+                .and_then(|n| n.as_f64()),
+            Some(0.25)
+        );
+        let h = v
+            .get("histograms")
+            .and_then(|h| h.get("span.pipeline.crawl"))
+            .expect("histogram present");
+        assert_eq!(h.get("count").and_then(|n| n.as_u64()), Some(3));
+        assert_eq!(h.get("min").and_then(|n| n.as_u64()), Some(100));
+        assert_eq!(h.get("max").and_then(|n| n.as_u64()), Some(300));
+        assert!(h.get("p50").and_then(|n| n.as_u64()).is_some());
+        let empty = v
+            .get("histograms")
+            .and_then(|h| h.get("empty.hist"))
+            .expect("empty histogram present");
+        assert_eq!(empty.get("count").and_then(|n| n.as_u64()), Some(0));
+        assert!(empty.get("p50").map(|p| p.is_null()).unwrap_or(false));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let r = Registry::new();
+        r.counter("weird\"name\\with\ncontrol").inc();
+        let json = render_json(&r.snapshot());
+        assert!(serde_json::from_str(&json).is_ok(), "{json}");
+    }
+
+    #[test]
+    fn empty_snapshot_is_valid_json() {
+        let json = render_json(&Snapshot::default());
+        assert!(serde_json::from_str(&json).is_ok(), "{json}");
+    }
+}

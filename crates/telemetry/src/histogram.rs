@@ -1,0 +1,331 @@
+//! Log-bucketed histograms with exact count/sum/min/max and
+//! approximate percentiles.
+//!
+//! Values are `u64` (the pipeline records nanoseconds and iteration
+//! counts). Buckets follow an HDR-style layout: values below 8 get
+//! exact unit buckets; every power-of-two octave above that is split
+//! into 8 sub-buckets, bounding the relative quantile error at one
+//! part in eight (~12 % worst case, ~6 % expected) while keeping the
+//! whole `u64` range addressable with [`N_BUCKETS`] slots. Recording
+//! is lock-free (relaxed atomics); snapshots are cheap copies that
+//! merge associatively, so per-shard histograms can be combined.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: each octave splits into `2^SUB_BITS` slots.
+const SUB_BITS: u32 = 3;
+const SUBS: usize = 1 << SUB_BITS;
+
+/// Total bucket count covering the full `u64` range: `SUBS` unit
+/// buckets plus `SUBS` per octave for exponents `SUB_BITS..=63`.
+pub const N_BUCKETS: usize = SUBS + (64 - SUB_BITS as usize) * SUBS;
+
+/// Maps a value to its bucket.
+fn bucket_index(v: u64) -> usize {
+    if v < SUBS as u64 {
+        return v as usize;
+    }
+    let exp = 63 - v.leading_zeros();
+    let sub = ((v >> (exp - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+    SUBS + (exp - SUB_BITS) as usize * SUBS + sub
+}
+
+/// Inclusive lower bound of a bucket.
+fn bucket_lower(index: usize) -> u64 {
+    if index < SUBS {
+        return index as u64;
+    }
+    let i = index - SUBS;
+    let exp = (i / SUBS) as u32 + SUB_BITS;
+    let sub = (i % SUBS) as u64;
+    (1u64 << exp) + (sub << (exp - SUB_BITS))
+}
+
+/// Representative value reported for a bucket (its midpoint).
+fn bucket_mid(index: usize) -> u64 {
+    let lo = bucket_lower(index);
+    let hi = if index + 1 < N_BUCKETS {
+        bucket_lower(index + 1) - 1
+    } else {
+        u64::MAX
+    };
+    lo + (hi - lo) / 2
+}
+
+/// A concurrent histogram; see the module docs for the bucket layout.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration in nanoseconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy for querying and merging.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]; supports percentile queries
+/// and associative merging.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (the identity for [`merge`](Self::merge)).
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: vec![0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean, if any observations were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), or `None` when empty.
+    ///
+    /// Returns the midpoint of the bucket holding the requested rank,
+    /// clamped into `[min, max]` — so a single-sample histogram
+    /// answers every quantile exactly, and extreme quantiles never
+    /// overshoot an observed value.
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The extreme ranks are tracked exactly; don't pay bucket
+        // resolution for them.
+        if rank == 1 {
+            return Some(self.min);
+        }
+        if rank == self.count {
+            return Some(self.max);
+        }
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_mid(i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median.
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> Option<u64> {
+        self.percentile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(0.99)
+    }
+
+    /// Folds another snapshot into this one; equivalent to having
+    /// recorded both value streams into a single histogram.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_lower(i), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_monotone_and_exhaustive() {
+        // Lower bounds strictly increase and indices round-trip.
+        let mut prev = None;
+        for i in 0..N_BUCKETS {
+            let lo = bucket_lower(i);
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            if let Some(p) = prev {
+                assert!(lo > p);
+            }
+            prev = Some(lo);
+        }
+        for v in [0, 1, 7, 8, 9, 15, 16, 100, 1_000_000, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(bucket_lower(i) <= v);
+            if i + 1 < N_BUCKETS {
+                assert!(v < bucket_lower(i + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new().snapshot();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn single_sample_answers_all_quantiles_exactly() {
+        let h = Histogram::new();
+        h.record(12_345);
+        let s = h.snapshot();
+        for q in [0.0, 0.01, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(s.percentile(q), Some(12_345), "q={q}");
+        }
+        assert_eq!(s.min(), Some(12_345));
+        assert_eq!(s.max(), Some(12_345));
+        assert_eq!(s.mean(), Some(12_345.0));
+    }
+
+    #[test]
+    fn percentiles_track_uniform_data_within_bucket_error() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for (q, expect) in [(0.5, 5_000.0), (0.9, 9_000.0), (0.99, 9_900.0)] {
+            let got = s.percentile(q).unwrap() as f64;
+            let rel = (got - expect).abs() / expect;
+            assert!(rel < 0.15, "q={q}: got {got}, want ~{expect}");
+        }
+        assert_eq!(s.percentile(1.0), Some(10_000));
+        assert_eq!(s.percentile(0.0), Some(1));
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 5, 6, 7] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.0), Some(0));
+        assert_eq!(s.percentile(1.0), Some(7));
+        assert_eq!(s.p50(), Some(3));
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let combined = Histogram::new();
+        for v in 0..500u64 {
+            a.record(v * 3);
+            combined.record(v * 3);
+        }
+        for v in 0..300u64 {
+            b.record(v * 7 + 1);
+            combined.record(v * 7 + 1);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, combined.snapshot());
+        // Merging the identity changes nothing.
+        let mut with_empty = merged.clone();
+        with_empty.merge(&HistogramSnapshot::empty());
+        assert_eq!(with_empty, merged);
+    }
+}

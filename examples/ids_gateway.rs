@@ -7,7 +7,11 @@
 //! ```
 
 use psigene::{PipelineConfig, Psigene};
-use psigene_corpus::{arachni::{self, ArachniConfig}, benign::{self, BenignConfig}, Dataset, Label};
+use psigene_corpus::{
+    arachni::{self, ArachniConfig},
+    benign::{self, BenignConfig},
+    Dataset, Label,
+};
 use psigene_learn::ConfusionMatrix;
 use psigene_rulesets::{BroEngine, DetectionEngine, ModsecEngine, SnortEngine};
 use rand::SeedableRng;
@@ -70,14 +74,21 @@ fn main() {
                 engines
                     .iter()
                     .zip(&verdicts)
-                    .map(|(e, v)| format!("{}:{}", short(e.name()), if *v { "ALERT" } else { "ok" }))
+                    .map(|(e, v)| format!(
+                        "{}:{}",
+                        short(e.name()),
+                        if *v { "ALERT" } else { "ok" }
+                    ))
                     .collect::<Vec<_>>()
                     .join("  ")
             );
         }
     }
 
-    println!("\n{:<26} {:>8} {:>8} {:>10} {:>8}", "ENGINE", "TPR", "FPR", "PRECISION", "F1");
+    println!(
+        "\n{:<26} {:>8} {:>8} {:>10} {:>8}",
+        "ENGINE", "TPR", "FPR", "PRECISION", "F1"
+    );
     for (e, m) in engines.iter().zip(&matrices) {
         println!(
             "{:<26} {:>7.1}% {:>7.2}% {:>9.1}% {:>8.3}",
@@ -87,6 +98,32 @@ fn main() {
             m.precision() * 100.0,
             m.f1()
         );
+    }
+
+    // What the pSigene engine observed about itself while serving the
+    // stream — latency distribution and which signatures fired.
+    let snap = system.telemetry_snapshot();
+    if let Some(h) = snap.histograms.get("detector.latency_ns") {
+        if let (Some(p50), Some(p99)) = (h.p50(), h.p99()) {
+            println!(
+                "\npSigene detection latency: p50 {:.1} µs / p99 {:.1} µs over {} requests",
+                p50 as f64 / 1000.0,
+                p99 as f64 / 1000.0,
+                h.count()
+            );
+        }
+    }
+    let mut hits: Vec<(&str, u64)> = snap
+        .counters
+        .iter()
+        .filter_map(|(k, &v)| k.strip_prefix("detector.sig_match.").map(|id| (id, v)))
+        .collect();
+    hits.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    if !hits.is_empty() {
+        println!("per-signature hit counts:");
+        for (id, n) in &hits {
+            println!("  signature {id:>3}: {n:>6} hits");
+        }
     }
 }
 

@@ -34,17 +34,30 @@ fn main() {
     );
 
     let requests = [
-        ("classic union exfiltration",
-         HttpRequest::get("shop.example", "/item.php",
-             "id=-1+UNION+SELECT+1,concat(user(),0x3a,version()),3--+-")),
-        ("quote-breakout tautology",
-         HttpRequest::get("blog.example", "/post.php", "id=1%27+or+%271%27%3D%271")),
-        ("time-blind probe",
-         HttpRequest::get("app.example", "/view.php", "page=1+AND+SLEEP(5)--")),
-        ("plain catalog browsing",
-         HttpRequest::get("shop.example", "/item.php", "id=1442&lang=en")),
-        ("benign search with SQL words",
-         HttpRequest::get("lib.example", "/search.php", "q=student+union+events")),
+        (
+            "classic union exfiltration",
+            HttpRequest::get(
+                "shop.example",
+                "/item.php",
+                "id=-1+UNION+SELECT+1,concat(user(),0x3a,version()),3--+-",
+            ),
+        ),
+        (
+            "quote-breakout tautology",
+            HttpRequest::get("blog.example", "/post.php", "id=1%27+or+%271%27%3D%271"),
+        ),
+        (
+            "time-blind probe",
+            HttpRequest::get("app.example", "/view.php", "page=1+AND+SLEEP(5)--"),
+        ),
+        (
+            "plain catalog browsing",
+            HttpRequest::get("shop.example", "/item.php", "id=1442&lang=en"),
+        ),
+        (
+            "benign search with SQL words",
+            HttpRequest::get("lib.example", "/search.php", "q=student+union+events"),
+        ),
     ];
     for (label, request) in requests {
         let verdict = system.evaluate(&request);

@@ -7,11 +7,14 @@
 //! cargo run --release -p psigene --example ruleset_audit
 //! ```
 
+use psigene::psigene_http::HttpRequest;
 use psigene::psigene_rulesets::{
-    bro::bro_rules, modsec::modsec_rules, render_table_iv, snort::{et_generated_rules, snort_rules},
+    bro::bro_rules,
+    modsec::modsec_rules,
+    render_table_iv,
+    snort::{et_generated_rules, snort_rules},
     table_iv,
 };
-use psigene::psigene_http::HttpRequest;
 use psigene::psigene_rulesets::{DetectionEngine, SnortEngine};
 
 fn main() {
@@ -33,8 +36,10 @@ fn main() {
     let mut near_dupes = 0;
     for (i, a) in snort.iter().enumerate() {
         for b in snort.iter().skip(i + 1) {
-            if let (psigene::psigene_rulesets::Matcher::Regex(ra), psigene::psigene_rulesets::Matcher::Regex(rb)) =
-                (&a.matcher, &b.matcher)
+            if let (
+                psigene::psigene_rulesets::Matcher::Regex(ra),
+                psigene::psigene_rulesets::Matcher::Regex(rb),
+            ) = (&a.matcher, &b.matcher)
             {
                 let (pa, pb) = (ra.pattern(), rb.pattern());
                 let min = pa.len().min(pb.len());

@@ -64,6 +64,9 @@ fn main() {
 
     println!("\nper-signature training set growth:");
     for s in current.signatures() {
-        println!("  signature {}: {} training samples", s.id, s.training_samples);
+        println!(
+            "  signature {}: {} training samples",
+            s.id, s.training_samples
+        );
     }
 }

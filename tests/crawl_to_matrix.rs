@@ -2,9 +2,10 @@
 //! matrix, checking the §II-A/§II-B invariants the paper reports.
 
 use psigene_corpus::{
+    crawl_training_set,
     crawler::{crawl, CrawlerConfig},
     portal::{build_portals, PortalConfig},
-    crawl_training_set, CrawlCorpusConfig,
+    CrawlCorpusConfig,
 };
 use psigene_features::{extract, FeatureSet};
 

@@ -2,7 +2,11 @@
 //! must hold on freshly generated test sets.
 
 use psigene::{PipelineConfig, Psigene};
-use psigene_corpus::{benign::{self, BenignConfig}, sqlmap::{self, SqlmapConfig}, Dataset};
+use psigene_corpus::{
+    benign::{self, BenignConfig},
+    sqlmap::{self, SqlmapConfig},
+    Dataset,
+};
 use psigene_rulesets::{BroEngine, DetectionEngine, ModsecEngine, SnortEngine};
 
 fn tpr(e: &dyn DetectionEngine, ds: &Dataset) -> f64 {

@@ -3,7 +3,10 @@
 
 use psigene::{PipelineConfig, Psigene};
 use psigene_corpus::sqlmap::{self, SqlmapConfig};
-use psigene_corpus::{benign::{self, BenignConfig}, Dataset};
+use psigene_corpus::{
+    benign::{self, BenignConfig},
+    Dataset,
+};
 use psigene_rulesets::DetectionEngine;
 use rand::SeedableRng;
 
@@ -72,8 +75,16 @@ fn repeated_updates_accumulate_training_samples() {
         ..PipelineConfig::default()
     });
     let total_before: usize = system.signatures().iter().map(|s| s.training_samples).sum();
-    let batch1 = sqlmap::generate(&SqlmapConfig { samples: 150, seed: 1, ..Default::default() });
-    let batch2 = sqlmap::generate(&SqlmapConfig { samples: 150, seed: 2, ..Default::default() });
+    let batch1 = sqlmap::generate(&SqlmapConfig {
+        samples: 150,
+        seed: 1,
+        ..Default::default()
+    });
+    let batch2 = sqlmap::generate(&SqlmapConfig {
+        samples: 150,
+        seed: 2,
+        ..Default::default()
+    });
     let (step1, s1) = system.retrain_with(&batch1, 2);
     let (step2, s2) = step1.retrain_with(&batch2, 2);
     let total_after: usize = step2.signatures().iter().map(|s| s.training_samples).sum();

@@ -2,7 +2,10 @@
 //! signatures → detection, across all workspace crates.
 
 use psigene::{PipelineConfig, Psigene};
-use psigene_corpus::{arachni::{self, ArachniConfig}, benign::{self, BenignConfig}};
+use psigene_corpus::{
+    arachni::{self, ArachniConfig},
+    benign::{self, BenignConfig},
+};
 use psigene_http::HttpRequest;
 use psigene_rulesets::DetectionEngine;
 
@@ -56,7 +59,10 @@ fn full_pipeline_produces_working_detector() {
     );
     assert!(system.evaluate(&attack).flagged, "missed a classic attack");
     let benign_req = HttpRequest::get("w.example", "/index.php", "page=3&lang=en");
-    assert!(!system.evaluate(&benign_req).flagged, "flagged plain browsing");
+    assert!(
+        !system.evaluate(&benign_req).flagged,
+        "flagged plain browsing"
+    );
 }
 
 #[test]
@@ -119,5 +125,8 @@ fn threshold_monotonicity() {
     let strict = count_at(0.9);
     let default = count_at(0.5);
     let lax = count_at(0.1);
-    assert!(lax >= default && default >= strict, "{lax} >= {default} >= {strict}");
+    assert!(
+        lax >= default && default >= strict,
+        "{lax} >= {default} >= {strict}"
+    );
 }

@@ -1,0 +1,228 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the registration surface the workspace's `[[bench]]`
+//! targets use (`Criterion`, `benchmark_group`, `bench_with_input`,
+//! `BenchmarkId`, `criterion_group!`, `criterion_main!`) with a plain
+//! wall-clock runner instead of statistical sampling. When the binary
+//! is invoked by `cargo bench` (cargo passes `--bench`), each
+//! benchmark runs `sample_size` timed batches and prints min/mean/max
+//! per iteration; under `cargo test` each benchmark body runs once as
+//! a smoke test so the target stays cheap in the tier-1 gate.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Iterations per timed batch; keeps per-sample overhead measurable
+/// without statistical machinery.
+const BATCH_ITERS: u64 = 16;
+
+/// True when cargo invoked this binary for measurement (`cargo bench`
+/// passes `--bench`); otherwise run each body once as a smoke test.
+fn measuring() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(f());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+}
+
+/// A benchmark identifier, rendered as `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a parameter value.
+    pub fn new<F: fmt::Display, P: fmt::Display>(function: F, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter value alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The benchmark runner handed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed batches each benchmark records.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample size must be nonzero");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches each benchmark in this group records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be nonzero");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark inside this group.
+    pub fn bench_function<I: fmt::Display, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.criterion.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, D: fmt::Display, F>(
+        &mut self,
+        id: D,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.criterion.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (reporting is immediate, so this is a marker).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let measure = measuring();
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: if measure { BATCH_ITERS } else { 1 },
+        sample_count: if measure { sample_size } else { 1 },
+    };
+    f(&mut bencher);
+    if !measure {
+        println!("{label}: ok (smoke)");
+        return;
+    }
+    if bencher.samples.is_empty() {
+        println!("{label}: no samples recorded");
+        return;
+    }
+    let min = bencher.samples.iter().min().unwrap();
+    let max = bencher.samples.iter().max().unwrap();
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    println!(
+        "{label}: min {min:?}  mean {mean:?}  max {max:?}  ({} samples)",
+        bencher.samples.len()
+    );
+}
+
+/// Declares a benchmark group function, mirroring the real macro's two
+/// accepted forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        // Test binaries are not passed --bench, so bodies run once.
+        let mut calls = 0;
+        Criterion::default()
+            .sample_size(50)
+            .bench_function("counting", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+}

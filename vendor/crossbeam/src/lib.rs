@@ -1,0 +1,84 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the `crossbeam::scope` API shape over
+//! `std::thread::scope` (std has had scoped threads since 1.63, after
+//! crossbeam pioneered them). Only the pieces this workspace uses are
+//! implemented: `scope`, `Scope::spawn` (whose closure receives the
+//! scope, crossbeam-style) and `ScopedJoinHandle::join`.
+
+use std::thread;
+
+/// Scoped-thread handle (join returns the closure's result or the
+/// thread's panic payload).
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread and returns its result.
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+/// A scope in which borrowed-data threads can be spawned.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread inside the scope. As in crossbeam, the closure
+    /// receives the scope so it can spawn nested threads.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Runs `f` with a scope; all threads spawned in it are joined before
+/// this returns. Crossbeam returns `Err` when a child panicked without
+/// being joined; std's scope propagates such panics instead, so this
+/// stub's `Ok` path is the only one that materializes — call sites
+/// that `.expect()` the result behave identically.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4, 5, 6, 7, 8];
+        let total: u64 = scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(3) {
+                handles.push(s.spawn(move |_| chunk.iter().sum::<u64>()));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker")).sum()
+        })
+        .expect("scope");
+        assert_eq!(total, 36);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().expect("inner") * 2)
+                .join()
+                .expect("outer")
+        })
+        .expect("scope");
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,72 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Length specifications accepted by [`vec`].
+pub trait SizeSpec {
+    /// Draws a length.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeSpec for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeSpec for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl SizeSpec for RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.start() + rng.below(self.end() - self.start() + 1)
+    }
+}
+
+/// Strategy producing vectors of `element` values with a length drawn
+/// from `size`.
+pub fn vec<S: Strategy, Z: SizeSpec>(element: S, size: Z) -> VecStrategy<S, Z> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, Z> {
+    element: S,
+    size: Z,
+}
+
+impl<S: Strategy, Z: SizeSpec> Strategy for VecStrategy<S, Z> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbitrary::any;
+
+    #[test]
+    fn sizes_respected() {
+        let mut rng = TestRng::deterministic("collection");
+        for _ in 0..100 {
+            let v = vec(any::<u8>(), 0..16).generate(&mut rng);
+            assert!(v.len() < 16);
+            let w = vec(0f64..1.0, 5usize).generate(&mut rng);
+            assert_eq!(w.len(), 5);
+            assert!(w.iter().all(|x| (0.0..1.0).contains(x)));
+            let z = vec(any::<bool>(), 2..=3).generate(&mut rng);
+            assert!(z.len() == 2 || z.len() == 3);
+        }
+    }
+}

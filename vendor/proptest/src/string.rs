@@ -1,0 +1,365 @@
+//! String strategies described by a regex subset.
+//!
+//! A `&'static str` used where a strategy is expected is interpreted
+//! as a generator for the language of that pattern, mirroring the real
+//! crate. The supported subset covers the patterns appearing in this
+//! workspace: literals, `.`, escapes (`\d`, `\s`, `\w`, `\\`, `\.`),
+//! character classes with ranges (`[ -~]`, `[abc01 .x]`), groups with
+//! alternation, and the quantifiers `?`, `*`, `+`, `{m}`, `{m,n}`.
+//! Unbounded quantifiers are capped at 8 repetitions.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+const UNBOUNDED_CAP: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// One of the listed branches, uniformly.
+    Alt(Vec<Node>),
+    /// All parts in order.
+    Seq(Vec<Node>),
+    /// A repeated node, `min..=max` times.
+    Repeat(Box<Node>, usize, usize),
+    /// One character drawn from the listed choices.
+    Class(Vec<char>),
+    /// A fixed character.
+    Lit(char),
+}
+
+struct Parser<'p> {
+    chars: Vec<char>,
+    pos: usize,
+    pattern: &'p str,
+}
+
+impl<'p> Parser<'p> {
+    fn new(pattern: &'p str) -> Parser<'p> {
+        Parser {
+            chars: pattern.chars().collect(),
+            pos: 0,
+            pattern,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> char {
+        let c = self.chars[self.pos];
+        self.pos += 1;
+        c
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!(
+            "unsupported regex pattern {:?} at offset {}: {}",
+            self.pattern, self.pos, what
+        );
+    }
+
+    fn parse_alt(&mut self) -> Node {
+        let mut branches = vec![self.parse_seq()];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.parse_seq());
+        }
+        if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Node::Alt(branches)
+        }
+    }
+
+    fn parse_seq(&mut self) -> Node {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.parse_repeat());
+        }
+        if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Node::Seq(parts)
+        }
+    }
+
+    fn parse_repeat(&mut self) -> Node {
+        let atom = self.parse_atom();
+        match self.peek() {
+            Some('?') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            Some('*') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 0, UNBOUNDED_CAP)
+            }
+            Some('+') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 1, UNBOUNDED_CAP)
+            }
+            Some('{') => {
+                self.bump();
+                let min = self.parse_number();
+                let max = match self.peek() {
+                    Some(',') => {
+                        self.bump();
+                        if self.peek() == Some('}') {
+                            min + UNBOUNDED_CAP
+                        } else {
+                            self.parse_number()
+                        }
+                    }
+                    _ => min,
+                };
+                if self.peek() != Some('}') {
+                    self.fail("expected '}' closing a repetition count");
+                }
+                self.bump();
+                if max < min {
+                    self.fail("repetition maximum below minimum");
+                }
+                Node::Repeat(Box::new(atom), min, max)
+            }
+            _ => atom,
+        }
+    }
+
+    fn parse_number(&mut self) -> usize {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            self.fail("expected a number");
+        }
+        self.chars[start..self.pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.peek() {
+            Some('(') => {
+                self.bump();
+                let inner = self.parse_alt();
+                if self.peek() != Some(')') {
+                    self.fail("expected ')' closing a group");
+                }
+                self.bump();
+                inner
+            }
+            Some('[') => {
+                self.bump();
+                Node::Class(self.parse_class())
+            }
+            Some('.') => {
+                self.bump();
+                // Any printable ASCII character, like the real crate's
+                // default for `.` restricted to one byte.
+                Node::Class((' '..='~').collect())
+            }
+            Some('\\') => {
+                self.bump();
+                self.parse_escape()
+            }
+            Some(c) if !"?*+{}|)".contains(c) => {
+                self.bump();
+                Node::Lit(c)
+            }
+            Some(_) => self.fail("unexpected metacharacter"),
+            None => self.fail("unexpected end of pattern"),
+        }
+    }
+
+    fn parse_escape(&mut self) -> Node {
+        match self.peek() {
+            Some('d') => {
+                self.bump();
+                Node::Class(('0'..='9').collect())
+            }
+            Some('s') => {
+                self.bump();
+                Node::Class(vec![' ', '\t', '\n'])
+            }
+            Some('w') => {
+                self.bump();
+                let mut set: Vec<char> = ('a'..='z').collect();
+                set.extend('A'..='Z');
+                set.extend('0'..='9');
+                set.push('_');
+                Node::Class(set)
+            }
+            Some(c) => {
+                self.bump();
+                Node::Lit(c)
+            }
+            None => self.fail("dangling backslash"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Vec<char> {
+        let mut set = Vec::new();
+        loop {
+            match self.peek() {
+                None => self.fail("unterminated character class"),
+                Some(']') if !set.is_empty() => {
+                    self.bump();
+                    return set;
+                }
+                Some('\\') => {
+                    self.bump();
+                    match self.parse_escape() {
+                        Node::Class(cs) => set.extend(cs),
+                        Node::Lit(c) => set.push(c),
+                        _ => unreachable!(),
+                    }
+                }
+                Some(lo) => {
+                    self.bump();
+                    // A '-' forms a range unless it is the last
+                    // character before ']'.
+                    if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                        self.bump();
+                        let hi = self.bump();
+                        if hi < lo {
+                            self.fail("reversed character range");
+                        }
+                        set.extend(lo..=hi);
+                    } else {
+                        set.push(lo);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn generate_into(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Alt(branches) => {
+            let pick = rng.below(branches.len());
+            generate_into(&branches[pick], rng, out);
+        }
+        Node::Seq(parts) => {
+            for part in parts {
+                generate_into(part, rng, out);
+            }
+        }
+        Node::Repeat(inner, min, max) => {
+            let n = min + rng.below(max - min + 1);
+            for _ in 0..n {
+                generate_into(inner, rng, out);
+            }
+        }
+        Node::Class(choices) => out.push(choices[rng.below(choices.len())]),
+        Node::Lit(c) => out.push(*c),
+    }
+}
+
+/// A compiled string-from-regex strategy.
+#[derive(Debug, Clone)]
+pub struct StringRegex {
+    root: Node,
+}
+
+impl StringRegex {
+    /// Compiles `pattern`; panics on constructs outside the supported
+    /// subset (acceptable for a test-only crate).
+    pub fn new(pattern: &str) -> StringRegex {
+        let mut parser = Parser::new(pattern);
+        let root = parser.parse_alt();
+        if parser.pos != parser.chars.len() {
+            parser.fail("trailing input after pattern");
+        }
+        StringRegex { root }
+    }
+}
+
+impl Strategy for StringRegex {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        generate_into(&self.root, rng, &mut out);
+        out
+    }
+}
+
+/// Compiles a pattern into a strategy (mirrors
+/// `proptest::string::string_regex`, minus the error case).
+pub fn string_regex(pattern: &str) -> Result<StringRegex, std::convert::Infallible> {
+    Ok(StringRegex::new(pattern))
+}
+
+/// Pattern literals act as strategies, like in the real crate.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        StringRegex::new(self).generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn printable_ascii_class() {
+        let mut rng = TestRng::deterministic("string::printable");
+        let strat = StringRegex::new("[ -~]{0,80}");
+        let mut max_len = 0;
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!(s.len() <= 80);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+            max_len = max_len.max(s.len());
+        }
+        assert!(max_len > 40, "length distribution collapsed: {max_len}");
+    }
+
+    #[test]
+    fn groups_alternation_and_escapes() {
+        let mut rng = TestRng::deterministic("string::groups");
+        let strat = StringRegex::new(r"[abc01]([abc01.]|\\d|\\s){0,8}");
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!("abc01".contains(s.chars().next().unwrap()));
+            // Tail consists of class chars or literal \d / \s pairs.
+            let tail: String = s.chars().skip(1).collect();
+            let mut it = tail.chars().peekable();
+            while let Some(c) = it.next() {
+                if c == '\\' {
+                    assert!(matches!(it.next(), Some('d') | Some('s')), "{s:?}");
+                } else {
+                    assert!("abc01.".contains(c), "{s:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantifiers() {
+        let mut rng = TestRng::deterministic("string::quant");
+        for _ in 0..100 {
+            let s = StringRegex::new("a?b+c{2}(d|e){1,3}").generate(&mut rng);
+            assert!(s.len() >= 4, "{s:?}");
+            assert!(s.contains("cc"), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn str_literals_are_strategies() {
+        use crate::strategy::Strategy;
+        let mut rng = TestRng::deterministic("string::lit");
+        let s = Strategy::generate(&"[xy]{3}", &mut rng);
+        assert_eq!(s.len(), 3);
+        assert!(s.chars().all(|c| c == 'x' || c == 'y'));
+    }
+}

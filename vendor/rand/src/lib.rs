@@ -1,0 +1,325 @@
+//! Offline stand-in for `rand` 0.8.
+//!
+//! Implements the slice of the rand API this workspace uses —
+//! [`RngCore`], [`SeedableRng`], [`Rng::gen_range`]/[`Rng::gen_bool`],
+//! [`seq::SliceRandom::shuffle`] and [`seq::index::sample`] — with the
+//! same signatures, so code written against real rand compiles and
+//! behaves sensibly (deterministic given a seeded generator). Stream
+//! values differ from the real crate; everything in this workspace
+//! treats seeded randomness as an arbitrary-but-fixed choice, so only
+//! determinism matters.
+
+/// Low-level generator interface.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    /// The raw seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanding it with SplitMix64
+    /// (as real rand does).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step.
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// High-level convenience methods (blanket-implemented for every
+/// [`RngCore`]).
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`low..high` or `low..=high`).
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli sample: `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics when `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    fn gen(&mut self) -> f64 {
+        unit_f64(self.next_u64())
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)`.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform range distributions.
+pub mod distributions {
+    /// Uniform sampling over ranges.
+    pub mod uniform {
+        use crate::RngCore;
+
+        /// A type uniformly sampleable from a half-open or inclusive
+        /// range.
+        pub trait SampleUniform: Sized + Copy + PartialOrd {
+            /// Uniform sample from `[low, high)`.
+            fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+            /// Uniform sample from `[low, high]`.
+            fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+        }
+
+        macro_rules! impl_int_uniform {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                        assert!(low < high, "gen_range: empty range");
+                        let span = (high as i128 - low as i128) as u128;
+                        let offset = (rng.next_u64() as u128) % span;
+                        (low as i128 + offset as i128) as $t
+                    }
+                    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                        assert!(low <= high, "gen_range: empty range");
+                        let span = (high as i128 - low as i128) as u128 + 1;
+                        let offset = (rng.next_u64() as u128) % span;
+                        (low as i128 + offset as i128) as $t
+                    }
+                }
+            )*};
+        }
+        impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        macro_rules! impl_float_uniform {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                        assert!(low < high, "gen_range: empty range");
+                        let unit = super::super::unit_f64(rng.next_u64()) as $t;
+                        low + unit * (high - low)
+                    }
+                    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                        assert!(low <= high, "gen_range: empty range");
+                        let unit = super::super::unit_f64(rng.next_u64()) as $t;
+                        low + unit * (high - low)
+                    }
+                }
+            )*};
+        }
+        impl_float_uniform!(f32, f64);
+
+        /// Range shapes accepted by [`crate::Rng::gen_range`].
+        pub trait SampleRange<T> {
+            /// Draws one sample.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_half_open(self.start, self.end, rng)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_inclusive(*self.start(), *self.end(), rng)
+            }
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use crate::{Rng, RngCore};
+
+    /// Slice extensions (shuffle, choose).
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly chosen element (`None` when empty).
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+
+    /// Index sampling without replacement.
+    pub mod index {
+        use super::*;
+
+        /// Sampled indices (API parity with rand's `IndexVec`).
+        #[derive(Debug, Clone)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// The indices as a plain vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// Whether the sample is empty.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+        }
+
+        /// Samples `amount` distinct indices from `0..length` by
+        /// partial Fisher–Yates.
+        ///
+        /// # Panics
+        /// Panics when `amount > length`.
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(amount <= length, "sample amount exceeds length");
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = rng.gen_range(i..length);
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+}
+
+/// Commonly imported items.
+pub mod prelude {
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Lcg(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..10);
+            assert!((3..10).contains(&v));
+            let u: usize = rng.gen_range(0..7);
+            assert!(u < 7);
+            let f = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let i = rng.gen_range(5..=5);
+            assert_eq!(i, 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Lcg(7);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Lcg(42);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "shuffle left input sorted");
+    }
+
+    #[test]
+    fn index_sample_is_distinct_and_bounded() {
+        let mut rng = Lcg(9);
+        let idx = seq::index::sample(&mut rng, 100, 30).into_vec();
+        assert_eq!(idx.len(), 30);
+        let set: std::collections::HashSet<_> = idx.iter().collect();
+        assert_eq!(set.len(), 30);
+        assert!(idx.iter().all(|&i| i < 100));
+    }
+}

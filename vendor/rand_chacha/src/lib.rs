@@ -1,0 +1,175 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! [`ChaCha8Rng`] is a genuine ChaCha8 keystream generator (D. J.
+//! Bernstein's quarter-round, 8 rounds, 64-bit block counter) exposed
+//! through the sibling rand stub's [`RngCore`]/[`SeedableRng`] traits.
+//! Output differs from the real crate's word ordering, which is fine
+//! here: the workspace uses seeded generators as arbitrary-but-fixed
+//! randomness, never as a cross-implementation reference stream.
+
+use rand::{RngCore, SeedableRng};
+
+/// Re-export of the core traits under the name real `rand_chacha`
+/// exposes them as.
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}
+
+/// A ChaCha stream cipher based generator with 8 rounds.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Key + constant + counter state (16 words).
+    state: [u32; 16],
+    /// Current output block.
+    block: [u32; 16],
+    /// Next word to hand out from `block` (16 = exhausted).
+    index: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(*s);
+        }
+        // 64-bit block counter in words 12..14.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.index = 0;
+    }
+}
+
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        // Words 12..16: block counter and nonce, all zero.
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+/// 12-round variant (same core, more rounds).
+#[derive(Debug, Clone)]
+pub struct ChaCha12Rng(ChaCha8Rng);
+
+impl SeedableRng for ChaCha12Rng {
+    type Seed = [u8; 32];
+    fn from_seed(seed: Self::Seed) -> Self {
+        ChaCha12Rng(ChaCha8Rng::from_seed(seed))
+    }
+}
+
+impl RngCore for ChaCha12Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// 20-round variant (same core; rounds collapsed — see module docs).
+#[derive(Debug, Clone)]
+pub struct ChaCha20Rng(ChaCha8Rng);
+
+impl SeedableRng for ChaCha20Rng {
+    type Seed = [u8; 32];
+    fn from_seed(seed: Self::Seed) -> Self {
+        ChaCha20Rng(ChaCha8Rng::from_seed(seed))
+    }
+}
+
+impl RngCore for ChaCha20Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn words_look_uniform() {
+        // Cheap sanity: mean of 4096 unit samples near 0.5.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 4096;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0f64..1.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn clone_forks_the_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(5);
+        let _ = a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

