@@ -65,6 +65,33 @@ fn bench_engines(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // The detector hot path decomposed: full `evaluate` (extraction +
+    // scoring + cached-handle telemetry) vs the raw
+    // `features_of`/`score_features` split the gateway's batch path
+    // uses. The gap is the telemetry cost per request — it collapsed
+    // when the string-keyed registry lookups were replaced with
+    // pre-resolved counter handles.
+    let mut hot = c.benchmark_group("detector_hot_path");
+    let attack = &attacks.samples[0].request;
+    hot.bench_function("evaluate_with_telemetry", |b| {
+        b.iter(|| std::hint::black_box(system.evaluate(attack).flagged))
+    });
+    hot.bench_function("extract_plus_score_only", |b| {
+        b.iter(|| {
+            let f = system.features_of(attack);
+            std::hint::black_box(system.score_features(&f).flagged)
+        })
+    });
+    hot.bench_function("score_features_only", |b| {
+        let f = system.features_of(attack);
+        b.iter(|| std::hint::black_box(system.score_features(&f).flagged))
+    });
+    hot.bench_function("evaluate_batch_of_64", |b| {
+        let requests: Vec<_> = attacks.samples.iter().map(|s| s.request.clone()).collect();
+        b.iter(|| std::hint::black_box(system.evaluate_batch(&requests).len()))
+    });
+    hot.finish();
 }
 
 criterion_group! {

@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Subcommands: `table1`..`table6`, `fig2`, `fig3`, `fig4`, `exp2`,
-//! `exp3`, `exp4`, `ablation`, `all`. Options: `--scale <f>` (corpus
+//! `exp3`, `exp4`, `serve`, `ablation`, `all`. Options: `--scale <f>` (corpus
 //! scale relative to the paper, default 0.1), `--seed <n>`,
 //! `--out <dir>` (artifact directory, default `results/`),
 //! `--telemetry <file>` (dump the global telemetry registry as JSON
@@ -77,7 +77,7 @@ fn main() {
     let needs_system = expanded.iter().any(|c| {
         matches!(
             *c,
-            "table3" | "table5" | "table6" | "fig3" | "fig4" | "exp2" | "exp4"
+            "table3" | "table5" | "table6" | "fig3" | "fig4" | "exp2" | "exp4" | "serve"
         )
     });
     let system: Option<Psigene> = if needs_system {
@@ -114,6 +114,7 @@ fn main() {
             "exp2" => harness::exp2(system.as_ref().expect("system"), &setup),
             "exp3" => harness::exp3(&setup),
             "exp4" => harness::exp4(system.as_ref().expect("system"), &setup),
+            "serve" => harness::serve(system.as_ref().expect("system"), &setup),
             "ablation" => harness::ablation(&setup),
             other => {
                 eprintln!("unknown command {other}");
@@ -139,7 +140,7 @@ fn usage() {
         "usage: repro [--scale <f>] [--seed <n>] [--out <dir>] [--telemetry <file>] \
          <command>...\n\
          commands: table1 table2 table3 table4 table5 table6 fig2 fig3 fig4 \
-         exp2 exp3 exp4 ablation all"
+         exp2 exp3 exp4 serve ablation all"
     );
 }
 

@@ -1,32 +1,132 @@
 //! pSigene as a [`DetectionEngine`]: the operational (test) phase of
 //! §II-D.
+//!
+//! The scoring path is split so every consumer shares one feature
+//! extraction per request: [`Psigene::features_of`] /
+//! [`Psigene::features_into`] produce the dense vector, and
+//! [`Psigene::score_features`] / [`Psigene::probabilities_from`]
+//! consume it. `evaluate` composes the two; the serving gateway's
+//! batch path calls them directly with a reused buffer.
+//!
+//! Telemetry handles are resolved once per process (not per request):
+//! the hot path touches pre-fetched `Arc<Counter>` / `Arc<Histogram>`
+//! handles instead of doing string-keyed registry lookups, and
+//! per-signature hit counters are cached by id after first use.
 
 use crate::pipeline::Psigene;
-use psigene_features::extract::extract_dense;
+use parking_lot::RwLock;
+use psigene_features::extract::extract_dense_into;
 use psigene_http::HttpRequest;
 use psigene_rulesets::{Detection, DetectionEngine};
+use psigene_telemetry::{Counter, Histogram};
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Pre-resolved handles into the global telemetry registry for the
+/// detector hot path.
+struct DetectorMetrics {
+    requests: Arc<Counter>,
+    flagged: Arc<Counter>,
+    latency: Arc<Histogram>,
+    /// Per-signature hit counters, cached after first resolution so
+    /// steady-state matching never formats a key or locks the
+    /// registry.
+    sig_match: RwLock<HashMap<u32, Arc<Counter>>>,
+}
+
+impl DetectorMetrics {
+    fn sig_counter(&self, id: u32) -> Arc<Counter> {
+        if let Some(c) = self.sig_match.read().get(&id) {
+            return Arc::clone(c);
+        }
+        let c = psigene_telemetry::global().counter(&format!("detector.sig_match.{id}"));
+        Arc::clone(self.sig_match.write().entry(id).or_insert(c))
+    }
+
+    /// Accounts one detection outcome (latency recorded separately).
+    fn record(&self, detection: &Detection) {
+        self.requests.inc();
+        if detection.flagged {
+            self.flagged.inc();
+            for &id in &detection.matched_rules {
+                self.sig_counter(id).inc();
+            }
+        }
+    }
+}
+
+fn metrics() -> &'static DetectorMetrics {
+    static METRICS: OnceLock<DetectorMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let telemetry = psigene_telemetry::global();
+        DetectorMetrics {
+            requests: telemetry.counter("detector.requests"),
+            flagged: telemetry.counter("detector.flagged"),
+            latency: telemetry.histogram("detector.latency_ns"),
+            sig_match: RwLock::new(HashMap::new()),
+        }
+    })
+}
 
 impl Psigene {
     /// Feature values of a request over the pruned feature set —
     /// one `count_all` per feature, as the paper's Bro
     /// implementation does (§III-C).
     pub fn features_of(&self, request: &HttpRequest) -> Vec<f64> {
-        let mut f = extract_dense(&self.feature_set, request.detection_payload());
+        let mut f = Vec::new();
+        self.features_into(request, &mut f);
+        f
+    }
+
+    /// Like [`Psigene::features_of`] but reusing a caller-owned
+    /// buffer — the batch scoring path extracts every request of a
+    /// batch into one allocation.
+    pub fn features_into(&self, request: &HttpRequest, out: &mut Vec<f64>) {
+        extract_dense_into(&self.feature_set, request.detection_payload(), out);
         if self.binary {
-            for v in &mut f {
+            for v in out.iter_mut() {
                 *v = if *v > 0.0 { 1.0 } else { 0.0 };
             }
         }
-        f
+    }
+
+    /// Scores an already-extracted feature vector against every
+    /// signature: the max-probability score and the set of signatures
+    /// at or above their thresholds. This is `evaluate` minus the
+    /// feature extraction and telemetry — the shared core of the
+    /// single-request and batch paths.
+    pub fn score_features(&self, features: &[f64]) -> Detection {
+        let mut matched = Vec::new();
+        let mut best = 0.0f64;
+        for s in &self.signatures {
+            let p = s.probability(features);
+            if p > best {
+                best = p;
+            }
+            if p >= s.threshold {
+                matched.push(s.id as u32);
+            }
+        }
+        Detection {
+            flagged: !matched.is_empty(),
+            matched_rules: matched,
+            score: best,
+        }
     }
 
     /// Per-signature probabilities for a request, as `(signature id,
     /// probability)` pairs.
     pub fn probabilities(&self, request: &HttpRequest) -> Vec<(usize, f64)> {
-        let f = self.features_of(request);
+        self.probabilities_from(&self.features_of(request))
+    }
+
+    /// Per-signature probabilities for an already-extracted feature
+    /// vector (shares one extraction with [`Psigene::score_features`]).
+    pub fn probabilities_from(&self, features: &[f64]) -> Vec<(usize, f64)> {
         self.signatures
             .iter()
-            .map(|s| (s.id, s.probability(&f)))
+            .map(|s| (s.id, s.probability(features)))
             .collect()
     }
 
@@ -42,35 +142,29 @@ impl DetectionEngine for Psigene {
     }
 
     fn evaluate(&self, request: &HttpRequest) -> Detection {
-        let start = std::time::Instant::now();
+        let start = Instant::now();
         let f = self.features_of(request);
-        let mut matched = Vec::new();
-        let mut best = 0.0f64;
-        for s in &self.signatures {
-            let p = s.probability(&f);
-            if p > best {
-                best = p;
-            }
-            if p >= s.threshold {
-                matched.push(s.id as u32);
-            }
-        }
-        let telemetry = psigene_telemetry::global();
-        telemetry.counter("detector.requests").inc();
-        if !matched.is_empty() {
-            telemetry.counter("detector.flagged").inc();
-            for id in &matched {
-                telemetry.counter(&format!("detector.sig_match.{id}")).inc();
-            }
-        }
-        telemetry
-            .histogram("detector.latency_ns")
-            .record_duration(start.elapsed());
-        Detection {
-            flagged: !matched.is_empty(),
-            matched_rules: matched,
-            score: best,
-        }
+        let detection = self.score_features(&f);
+        let m = metrics();
+        m.record(&detection);
+        m.latency.record_duration(start.elapsed());
+        detection
+    }
+
+    fn evaluate_batch(&self, requests: &[HttpRequest]) -> Vec<Detection> {
+        let m = metrics();
+        let mut features = vec![0.0; self.feature_set.len()];
+        requests
+            .iter()
+            .map(|request| {
+                let start = Instant::now();
+                self.features_into(request, &mut features);
+                let detection = self.score_features(&features);
+                m.record(&detection);
+                m.latency.record_duration(start.elapsed());
+                detection
+            })
+            .collect()
     }
 
     fn rule_count(&self) -> usize {
@@ -137,5 +231,58 @@ mod tests {
         assert!(strict.evaluate(&req).flagged);
         // At an impossible threshold nothing is flagged.
         assert!(!lax.with_threshold(1.01).evaluate(&req).flagged);
+    }
+
+    #[test]
+    fn score_features_agrees_with_evaluate() {
+        let p = trained();
+        let reqs = [
+            HttpRequest::get("v", "/x.php", "id=1+union+select+null,null--"),
+            HttpRequest::get("w", "/index.php", "page=2&sort=asc"),
+        ];
+        for req in &reqs {
+            let via_split = p.score_features(&p.features_of(req));
+            let via_evaluate = p.evaluate(req);
+            assert_eq!(via_split.flagged, via_evaluate.flagged);
+            assert_eq!(via_split.matched_rules, via_evaluate.matched_rules);
+            assert!((via_split.score - via_evaluate.score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn batch_evaluation_matches_single_requests() {
+        let p = trained();
+        let reqs: Vec<HttpRequest> = [
+            "id=-1+union+select+1,2,3--",
+            "page=2&sort=asc",
+            "id=1'+or+'1'='1",
+            "q=summer+housing",
+        ]
+        .iter()
+        .map(|q| HttpRequest::get("v", "/x.php", q))
+        .collect();
+        let batch = p.evaluate_batch(&reqs);
+        assert_eq!(batch.len(), reqs.len());
+        for (d, req) in batch.iter().zip(&reqs) {
+            let single = p.evaluate(req);
+            assert_eq!(d.flagged, single.flagged);
+            assert_eq!(d.matched_rules, single.matched_rules);
+            assert!((d.score - single.score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn hot_path_counters_accumulate() {
+        let p = trained();
+        let before = psigene_telemetry::global()
+            .counter("detector.requests")
+            .get();
+        let req = HttpRequest::get("v", "/x.php", "id=1+union+select+null--");
+        p.evaluate(&req);
+        p.evaluate_batch(std::slice::from_ref(&req));
+        let after = psigene_telemetry::global()
+            .counter("detector.requests")
+            .get();
+        assert!(after >= before + 2);
     }
 }

@@ -26,11 +26,19 @@ pub fn extract_row(set: &FeatureSet, payload: &[u8]) -> Vec<(usize, f64)> {
 /// Extracts a dense `f64` vector (for detection-time scoring against
 /// a specific signature's features).
 pub fn extract_dense(set: &FeatureSet, payload: &[u8]) -> Vec<f64> {
+    let mut out = Vec::new();
+    extract_dense_into(set, payload, &mut out);
+    out
+}
+
+/// Like [`extract_dense`] but writes into a caller-owned buffer,
+/// so batch scoring (one vector per request) reuses a single
+/// allocation across the whole batch. The buffer is cleared and
+/// resized to `set.len()`.
+pub fn extract_dense_into(set: &FeatureSet, payload: &[u8], out: &mut Vec<f64>) {
     let norm = normalize(payload);
-    set.features()
-        .iter()
-        .map(|f| f.count(&norm) as f64)
-        .collect()
+    out.clear();
+    out.extend(set.features().iter().map(|f| f.count(&norm) as f64));
 }
 
 /// Extracts the full sample×feature matrix, parallelized over

@@ -16,6 +16,57 @@ pub struct Detection {
     pub score: f64,
 }
 
+/// Outcome of submitting one request to a serving gateway: either a
+/// real engine decision or an overload shed, where the gateway never
+/// ran the engine because its queues were at capacity.
+///
+/// The paper's operational phase (§II-D) assumes the detector keeps
+/// up with traffic; an inline deployment has to say what happens when
+/// it does not. A shed verdict records the configured failure
+/// direction so downstream consumers (block/allow the request, audit
+/// logs, dashboards) can treat it uniformly with real detections.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The engine evaluated the request.
+    Evaluated(Detection),
+    /// The gateway shed the request before evaluation.
+    Overloaded {
+        /// `true` = fail-open (shed traffic passes unflagged),
+        /// `false` = fail-closed (shed traffic is flagged).
+        fail_open: bool,
+    },
+}
+
+impl Verdict {
+    /// Whether this verdict raises an alert: the engine's decision,
+    /// or the configured failure direction for shed requests.
+    pub fn flagged(&self) -> bool {
+        match self {
+            Verdict::Evaluated(d) => d.flagged,
+            Verdict::Overloaded { fail_open } => !fail_open,
+        }
+    }
+
+    /// The engine decision, when one was made.
+    pub fn detection(&self) -> Option<&Detection> {
+        match self {
+            Verdict::Evaluated(d) => Some(d),
+            Verdict::Overloaded { .. } => None,
+        }
+    }
+
+    /// Whether the request was shed without evaluation.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, Verdict::Overloaded { .. })
+    }
+}
+
+impl From<Detection> for Verdict {
+    fn from(d: Detection) -> Verdict {
+        Verdict::Evaluated(d)
+    }
+}
+
 /// A misuse detector that judges HTTP requests.
 ///
 /// The paper compares four such systems (Bro, Snort/ET, ModSecurity,
@@ -28,6 +79,16 @@ pub trait DetectionEngine: Send + Sync {
 
     /// Evaluates one request.
     fn evaluate(&self, request: &HttpRequest) -> Detection;
+
+    /// Evaluates a batch of requests in submission order.
+    ///
+    /// The default is a per-request loop; engines with per-call
+    /// overhead worth amortizing (snapshot acquisition, scratch
+    /// buffers, telemetry) override it — pSigene shares one feature
+    /// buffer and one telemetry flush across the whole batch.
+    fn evaluate_batch(&self, requests: &[HttpRequest]) -> Vec<Detection> {
+        requests.iter().map(|r| self.evaluate(r)).collect()
+    }
 
     /// Number of active detection rules/signatures.
     fn rule_count(&self) -> usize;
@@ -60,5 +121,37 @@ mod tests {
         let req = HttpRequest::get("h", "/", "a=1");
         assert!(engines[0].evaluate(&req).flagged);
         assert_eq!(engines[0].name(), "always");
+    }
+
+    #[test]
+    fn default_batch_matches_single_evaluation() {
+        let engine = AlwaysFlag;
+        let reqs: Vec<HttpRequest> = (0..3)
+            .map(|i| HttpRequest::get("h", "/", &format!("a={i}")))
+            .collect();
+        let batch = engine.evaluate_batch(&reqs);
+        assert_eq!(batch.len(), 3);
+        for (d, r) in batch.iter().zip(&reqs) {
+            assert_eq!(d.flagged, engine.evaluate(r).flagged);
+        }
+    }
+
+    #[test]
+    fn verdict_flagging_follows_failure_direction() {
+        let hit = Verdict::Evaluated(Detection {
+            flagged: true,
+            matched_rules: vec![3],
+            score: 0.9,
+        });
+        assert!(hit.flagged());
+        assert!(!hit.is_shed());
+        assert_eq!(hit.detection().map(|d| d.matched_rules.len()), Some(1));
+
+        let open = Verdict::Overloaded { fail_open: true };
+        let closed = Verdict::Overloaded { fail_open: false };
+        assert!(!open.flagged());
+        assert!(closed.flagged());
+        assert!(open.is_shed() && closed.is_shed());
+        assert!(open.detection().is_none());
     }
 }

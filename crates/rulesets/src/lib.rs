@@ -35,7 +35,7 @@ pub mod snort;
 pub mod stats;
 
 pub use bro::BroEngine;
-pub use engine::{Detection, DetectionEngine};
+pub use engine::{Detection, DetectionEngine, Verdict};
 pub use modsec::ModsecEngine;
 pub use rule::{Matcher, Rule, Severity};
 pub use snort::SnortEngine;

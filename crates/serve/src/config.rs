@@ -1,0 +1,82 @@
+//! Gateway sizing and overload behaviour.
+
+/// What the gateway does when every shard queue is at its bound.
+///
+/// An inline IDS must pick a failure direction under overload: the
+/// paper's offline evaluation never faces this, but a deployment
+/// serving real traffic does. `Block` preserves the exact offline
+/// semantics (every request is evaluated, submitters slow down);
+/// `Shed` keeps submitter latency bounded and answers with
+/// [`Verdict::Overloaded`](psigene_rulesets::Verdict) instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Backpressure: `submit` blocks until queue space frees up.
+    /// Every accepted request is evaluated.
+    Block,
+    /// Load shedding: when all queues are full the request is
+    /// answered immediately without evaluation.
+    Shed {
+        /// `true` = shed traffic passes unflagged (availability over
+        /// detection); `false` = shed traffic is flagged (detection
+        /// over availability).
+        fail_open: bool,
+    },
+}
+
+impl OverloadPolicy {
+    /// The failure direction used for shed (or otherwise
+    /// unevaluated) requests. `Block` never sheds by policy, but a
+    /// dead worker still needs a direction; it fails closed.
+    pub fn fail_open(&self) -> bool {
+        match self {
+            OverloadPolicy::Block => false,
+            OverloadPolicy::Shed { fail_open } => *fail_open,
+        }
+    }
+}
+
+/// Gateway sizing: how many worker shards and how deep each shard's
+/// queue runs before [`OverloadPolicy`] kicks in.
+#[derive(Debug, Clone, Copy)]
+pub struct GatewayConfig {
+    /// Number of worker shards (threads), each with its own bounded
+    /// queue. Clamped to at least 1.
+    pub shards: usize,
+    /// Per-shard queue bound. Clamped to at least 1.
+    pub queue_capacity: usize,
+    /// Behaviour when every queue is full.
+    pub policy: OverloadPolicy,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> GatewayConfig {
+        GatewayConfig {
+            shards: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(8),
+            queue_capacity: 1024,
+            policy: OverloadPolicy::Block,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = GatewayConfig::default();
+        assert!(c.shards >= 1);
+        assert!(c.queue_capacity >= 1);
+        assert_eq!(c.policy, OverloadPolicy::Block);
+    }
+
+    #[test]
+    fn failure_direction() {
+        assert!(!OverloadPolicy::Block.fail_open());
+        assert!(OverloadPolicy::Shed { fail_open: true }.fail_open());
+        assert!(!OverloadPolicy::Shed { fail_open: false }.fail_open());
+    }
+}

@@ -1,0 +1,616 @@
+//! The sharded worker-pool gateway.
+
+use crate::config::{GatewayConfig, OverloadPolicy};
+use crate::store::SignatureStore;
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use psigene_http::HttpRequest;
+use psigene_rulesets::Verdict;
+use psigene_telemetry::{Counter, Histogram};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One unit of work on a shard queue.
+enum Job {
+    One {
+        request: HttpRequest,
+        submitted: Instant,
+        reply: Sender<Verdict>,
+    },
+    Batch {
+        requests: Vec<HttpRequest>,
+        submitted: Instant,
+        reply: Sender<Vec<Verdict>>,
+    },
+}
+
+impl Job {
+    fn size(&self) -> u64 {
+        match self {
+            Job::One { .. } => 1,
+            Job::Batch { requests, .. } => requests.len() as u64,
+        }
+    }
+}
+
+/// Pre-resolved global telemetry handles plus per-gateway exact
+/// counts (the global registry is process-wide; a test or bench with
+/// several gateways still gets per-instance numbers from
+/// [`Gateway::stats`]).
+struct Metrics {
+    submitted: Arc<Counter>,
+    served: Arc<Counter>,
+    shed: Arc<Counter>,
+    batches: Arc<Counter>,
+    latency: Arc<Histogram>,
+    local_submitted: AtomicU64,
+    local_served: AtomicU64,
+    local_shed: AtomicU64,
+}
+
+impl Metrics {
+    fn new() -> Metrics {
+        let telemetry = psigene_telemetry::global();
+        Metrics {
+            submitted: telemetry.counter("serve.submitted"),
+            served: telemetry.counter("serve.served"),
+            shed: telemetry.counter("serve.shed"),
+            batches: telemetry.counter("serve.batches"),
+            latency: telemetry.histogram("serve.latency_ns"),
+            local_submitted: AtomicU64::new(0),
+            local_served: AtomicU64::new(0),
+            local_shed: AtomicU64::new(0),
+        }
+    }
+
+    fn account_submitted(&self, n: u64) {
+        self.submitted.add(n);
+        self.local_submitted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn account_served(&self, n: u64, since_submit: std::time::Duration) {
+        self.served.add(n);
+        self.local_served.fetch_add(n, Ordering::Relaxed);
+        self.latency.record_duration(since_submit);
+    }
+
+    fn account_shed(&self, n: u64) {
+        self.shed.add(n);
+        self.local_shed.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time (or final, after [`Gateway::shutdown`]) serving
+/// counts for one gateway instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Requests accepted onto some shard queue.
+    pub submitted: u64,
+    /// Requests evaluated by a worker.
+    pub served: u64,
+    /// Requests answered [`Verdict::Overloaded`] without evaluation.
+    pub shed: u64,
+}
+
+struct Shard {
+    tx: Sender<Job>,
+    depth: Arc<psigene_telemetry::Gauge>,
+}
+
+/// The concurrent detection gateway: N worker shards, each owning a
+/// bounded queue, all evaluating against the engine currently in the
+/// shared [`SignatureStore`].
+///
+/// Request → verdict flow:
+///
+/// ```text
+/// submit()/submit_batch()        worker shard i
+///   round-robin shard pick  ──►  recv → store.current() → evaluate
+///   (Block: blocking send;        └─► reply channel → Ticket::wait
+///    Shed: try all shards,
+///    answer Overloaded when
+///    every queue is full)
+/// ```
+///
+/// Dropping or [`Gateway::shutdown`]-ing the gateway closes the
+/// queues; workers drain every job already accepted (so every
+/// outstanding [`Ticket`] resolves) and exit.
+pub struct Gateway {
+    store: Arc<SignatureStore>,
+    config: GatewayConfig,
+    shards: Vec<Shard>,
+    workers: Vec<JoinHandle<()>>,
+    next: AtomicUsize,
+    metrics: Arc<Metrics>,
+}
+
+/// Pending verdict for one submitted request.
+#[must_use = "wait() on the ticket to get the verdict"]
+pub struct Ticket {
+    inner: TicketInner<Verdict>,
+}
+
+/// Pending verdicts for one submitted batch.
+#[must_use = "wait() on the ticket to get the verdicts"]
+pub struct BatchTicket {
+    inner: TicketInner<Vec<Verdict>>,
+    len: usize,
+}
+
+enum TicketInner<T> {
+    /// Answered at submission time (shed).
+    Ready(T),
+    /// In flight on some shard.
+    Pending { rx: Receiver<T>, fail_open: bool },
+}
+
+impl Ticket {
+    /// Blocks until the verdict arrives. If the owning worker died
+    /// (its reply channel disconnected) the request counts as
+    /// unevaluated and resolves in the policy's failure direction.
+    pub fn wait(self) -> Verdict {
+        match self.inner {
+            TicketInner::Ready(v) => v,
+            TicketInner::Pending { rx, fail_open } => {
+                rx.recv().unwrap_or(Verdict::Overloaded { fail_open })
+            }
+        }
+    }
+}
+
+impl BatchTicket {
+    /// Blocks until the batch's verdicts arrive (same disconnect
+    /// semantics as [`Ticket::wait`], applied to the whole batch).
+    pub fn wait(self) -> Vec<Verdict> {
+        match self.inner {
+            TicketInner::Ready(v) => v,
+            TicketInner::Pending { rx, fail_open } => rx.recv().unwrap_or_else(|_| {
+                (0..self.len)
+                    .map(|_| Verdict::Overloaded { fail_open })
+                    .collect()
+            }),
+        }
+    }
+}
+
+impl Gateway {
+    /// Spawns the worker shards and returns the running gateway.
+    pub fn start(store: Arc<SignatureStore>, config: GatewayConfig) -> Gateway {
+        let nshards = config.shards.max(1);
+        let capacity = config.queue_capacity.max(1);
+        let metrics = Arc::new(Metrics::new());
+        let telemetry = psigene_telemetry::global();
+        let mut shards = Vec::with_capacity(nshards);
+        let mut workers = Vec::with_capacity(nshards);
+        for i in 0..nshards {
+            let (tx, rx) = channel::bounded::<Job>(capacity);
+            let depth = telemetry.gauge(&format!("serve.shard.{i}.queue_depth"));
+            depth.set(0.0);
+            let worker_store = Arc::clone(&store);
+            let worker_metrics = Arc::clone(&metrics);
+            let worker_depth = Arc::clone(&depth);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("psigene-serve-{i}"))
+                    .spawn(move || worker_loop(rx, worker_store, worker_metrics, worker_depth))
+                    .expect("spawn gateway worker"),
+            );
+            shards.push(Shard { tx, depth });
+        }
+        Gateway {
+            store,
+            config,
+            shards,
+            workers,
+            next: AtomicUsize::new(0),
+            metrics,
+        }
+    }
+
+    /// The signature store this gateway serves from (swap engines
+    /// through it for hot reload).
+    pub fn store(&self) -> &Arc<SignatureStore> {
+        &self.store
+    }
+
+    /// The configuration the gateway was started with.
+    pub fn config(&self) -> &GatewayConfig {
+        &self.config
+    }
+
+    /// Submits one request; returns a [`Ticket`] resolving to its
+    /// verdict. Under `Shed` the ticket may already be resolved to
+    /// [`Verdict::Overloaded`].
+    pub fn submit(&self, request: HttpRequest) -> Ticket {
+        let fail_open = self.config.policy.fail_open();
+        let (reply_tx, reply_rx) = channel::bounded::<Verdict>(1);
+        let job = Job::One {
+            request,
+            submitted: Instant::now(),
+            reply: reply_tx,
+        };
+        match self.dispatch(job) {
+            Ok(()) => Ticket {
+                inner: TicketInner::Pending {
+                    rx: reply_rx,
+                    fail_open,
+                },
+            },
+            Err(job) => {
+                self.metrics.account_shed(job.size());
+                Ticket {
+                    inner: TicketInner::Ready(Verdict::Overloaded { fail_open }),
+                }
+            }
+        }
+    }
+
+    /// Submits a batch to a single shard, where the engine's
+    /// [`evaluate_batch`](psigene_rulesets::DetectionEngine::evaluate_batch)
+    /// amortizes snapshot acquisition, feature-buffer allocation and
+    /// telemetry across all its requests. Verdicts come back in
+    /// submission order. Under `Shed`, a full gateway sheds the
+    /// whole batch.
+    pub fn submit_batch(&self, requests: Vec<HttpRequest>) -> BatchTicket {
+        let fail_open = self.config.policy.fail_open();
+        let len = requests.len();
+        if len == 0 {
+            return BatchTicket {
+                inner: TicketInner::Ready(Vec::new()),
+                len,
+            };
+        }
+        let (reply_tx, reply_rx) = channel::bounded::<Vec<Verdict>>(1);
+        let job = Job::Batch {
+            requests,
+            submitted: Instant::now(),
+            reply: reply_tx,
+        };
+        match self.dispatch(job) {
+            Ok(()) => BatchTicket {
+                inner: TicketInner::Pending {
+                    rx: reply_rx,
+                    fail_open,
+                },
+                len,
+            },
+            Err(job) => {
+                self.metrics.account_shed(job.size());
+                BatchTicket {
+                    inner: TicketInner::Ready(
+                        (0..len)
+                            .map(|_| Verdict::Overloaded { fail_open })
+                            .collect(),
+                    ),
+                    len,
+                }
+            }
+        }
+    }
+
+    /// Submits one request and blocks for its verdict.
+    pub fn check(&self, request: HttpRequest) -> Verdict {
+        self.submit(request).wait()
+    }
+
+    /// Submits a batch and blocks for its verdicts.
+    pub fn check_batch(&self, requests: Vec<HttpRequest>) -> Vec<Verdict> {
+        self.submit_batch(requests).wait()
+    }
+
+    /// Current per-instance serving counts.
+    pub fn stats(&self) -> GatewayStats {
+        GatewayStats {
+            submitted: self.metrics.local_submitted.load(Ordering::Relaxed),
+            served: self.metrics.local_served.load(Ordering::Relaxed),
+            shed: self.metrics.local_shed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful shutdown: closes every shard queue, waits for workers
+    /// to drain all accepted jobs (every outstanding ticket resolves)
+    /// and returns the final counts.
+    pub fn shutdown(mut self) -> GatewayStats {
+        self.close_and_join();
+        self.stats()
+    }
+
+    fn close_and_join(&mut self) {
+        // Dropping the senders closes the queues; workers drain what
+        // was accepted and exit on disconnect.
+        self.shards.clear();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Routes a job to a shard according to the overload policy.
+    /// `Err` hands the job back: every queue was at its bound (shed)
+    /// or the gateway is no longer serving.
+    // The Err variant carries the whole job back by value on purpose:
+    // shedding must return the caller's requests without an allocation
+    // on the submit path, and there is exactly one internal caller.
+    #[allow(clippy::result_large_err)]
+    fn dispatch(&self, job: Job) -> Result<(), Job> {
+        let n = self.shards.len();
+        let start = self.next.fetch_add(1, Ordering::Relaxed) % n;
+        let size = job.size();
+        match self.config.policy {
+            OverloadPolicy::Block => {
+                let shard = &self.shards[start];
+                match shard.tx.send(job) {
+                    Ok(()) => {
+                        shard.depth.set(shard.tx.len() as f64);
+                        self.metrics.account_submitted(size);
+                        Ok(())
+                    }
+                    Err(channel::SendError(job)) => Err(job),
+                }
+            }
+            OverloadPolicy::Shed { .. } => {
+                // Try every shard once, starting at the round-robin
+                // pick; shed only when all queues are at the bound.
+                let mut job = job;
+                for i in 0..n {
+                    let shard = &self.shards[(start + i) % n];
+                    match shard.tx.try_send(job) {
+                        Ok(()) => {
+                            shard.depth.set(shard.tx.len() as f64);
+                            self.metrics.account_submitted(size);
+                            return Ok(());
+                        }
+                        Err(TrySendError::Full(j)) | Err(TrySendError::Disconnected(j)) => {
+                            job = j;
+                        }
+                    }
+                }
+                Err(job)
+            }
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+fn worker_loop(
+    rx: Receiver<Job>,
+    store: Arc<SignatureStore>,
+    metrics: Arc<Metrics>,
+    depth: Arc<psigene_telemetry::Gauge>,
+) {
+    while let Ok(job) = rx.recv() {
+        depth.set(rx.len() as f64);
+        match job {
+            Job::One {
+                request,
+                submitted,
+                reply,
+            } => {
+                let engine = store.current();
+                let detection = engine.evaluate(&request);
+                metrics.account_served(1, submitted.elapsed());
+                let _ = reply.send(Verdict::Evaluated(detection));
+            }
+            Job::Batch {
+                requests,
+                submitted,
+                reply,
+            } => {
+                // One engine snapshot for the whole batch: a reload
+                // landing mid-batch applies from the next batch on.
+                let engine = store.current();
+                let detections = engine.evaluate_batch(&requests);
+                metrics.batches.inc();
+                metrics.account_served(detections.len() as u64, submitted.elapsed());
+                let _ = reply.send(detections.into_iter().map(Verdict::Evaluated).collect());
+            }
+        }
+    }
+    depth.set(0.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psigene_rulesets::{Detection, DetectionEngine};
+    use std::sync::atomic::AtomicBool;
+
+    /// Flags queries containing "attack"; optionally parks on a gate
+    /// to let tests pin a worker.
+    struct TestEngine {
+        gate: Option<Arc<AtomicBool>>,
+    }
+
+    impl DetectionEngine for TestEngine {
+        fn name(&self) -> &str {
+            "test-engine"
+        }
+        fn evaluate(&self, request: &HttpRequest) -> Detection {
+            if let Some(gate) = &self.gate {
+                while !gate.load(Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+            }
+            let hot = request.request_target().contains("attack");
+            Detection {
+                flagged: hot,
+                matched_rules: if hot { vec![1] } else { vec![] },
+                score: if hot { 1.0 } else { 0.0 },
+            }
+        }
+        fn rule_count(&self) -> usize {
+            1
+        }
+    }
+
+    fn free_engine() -> Arc<dyn DetectionEngine> {
+        Arc::new(TestEngine { gate: None })
+    }
+
+    #[test]
+    fn check_round_trips_a_verdict() {
+        let gateway = Gateway::start(
+            SignatureStore::new(free_engine()),
+            GatewayConfig {
+                shards: 2,
+                queue_capacity: 8,
+                policy: OverloadPolicy::Block,
+            },
+        );
+        assert!(gateway
+            .check(HttpRequest::get("h", "/attack", "x=1"))
+            .flagged());
+        assert!(!gateway.check(HttpRequest::get("h", "/ok", "x=1")).flagged());
+        let stats = gateway.shutdown();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.served, 2);
+        assert_eq!(stats.shed, 0);
+    }
+
+    #[test]
+    fn batch_preserves_submission_order() {
+        let gateway = Gateway::start(
+            SignatureStore::new(free_engine()),
+            GatewayConfig {
+                shards: 1,
+                queue_capacity: 4,
+                policy: OverloadPolicy::Block,
+            },
+        );
+        let requests: Vec<HttpRequest> = (0..6)
+            .map(|i| {
+                let path = if i % 2 == 0 { "/attack" } else { "/ok" };
+                HttpRequest::get("h", path, &format!("i={i}"))
+            })
+            .collect();
+        let verdicts = gateway.check_batch(requests);
+        assert_eq!(verdicts.len(), 6);
+        for (i, v) in verdicts.iter().enumerate() {
+            assert_eq!(v.flagged(), i % 2 == 0, "verdict {i} misrouted");
+        }
+        drop(gateway);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let gateway = Gateway::start(SignatureStore::new(free_engine()), GatewayConfig::default());
+        assert!(gateway.check_batch(Vec::new()).is_empty());
+        assert_eq!(gateway.shutdown().submitted, 0);
+    }
+
+    #[test]
+    fn shed_fires_when_all_queues_full() {
+        let gate = Arc::new(AtomicBool::new(false));
+        let engine: Arc<dyn DetectionEngine> = Arc::new(TestEngine {
+            gate: Some(Arc::clone(&gate)),
+        });
+        let gateway = Gateway::start(
+            SignatureStore::new(engine),
+            GatewayConfig {
+                shards: 1,
+                queue_capacity: 2,
+                policy: OverloadPolicy::Shed { fail_open: true },
+            },
+        );
+        // First job occupies the (gated) worker; the queue bound then
+        // admits exactly 2 more before shedding starts. The worker
+        // may or may not have dequeued the first job yet, so between
+        // 2 and 3 submissions are accepted; the 4th must shed.
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| gateway.submit(HttpRequest::get("h", "/ok", &format!("i={i}"))))
+            .collect();
+        let last_shed = {
+            let stats = gateway.stats();
+            assert!(stats.shed >= 1, "no shed at queue bound: {stats:?}");
+            stats.shed
+        };
+        gate.store(true, Ordering::Release);
+        let verdicts: Vec<Verdict> = tickets.into_iter().map(Ticket::wait).collect();
+        let shed_verdicts = verdicts.iter().filter(|v| v.is_shed()).count() as u64;
+        assert_eq!(shed_verdicts, last_shed);
+        // fail_open sheds pass unflagged.
+        assert!(verdicts
+            .iter()
+            .filter(|v| v.is_shed())
+            .all(|v| !v.flagged()));
+        let stats = gateway.shutdown();
+        assert_eq!(stats.served + stats.shed, 4);
+    }
+
+    #[test]
+    fn fail_closed_sheds_are_flagged() {
+        let gate = Arc::new(AtomicBool::new(false));
+        let engine: Arc<dyn DetectionEngine> = Arc::new(TestEngine {
+            gate: Some(Arc::clone(&gate)),
+        });
+        let gateway = Gateway::start(
+            SignatureStore::new(engine),
+            GatewayConfig {
+                shards: 1,
+                queue_capacity: 1,
+                policy: OverloadPolicy::Shed { fail_open: false },
+            },
+        );
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|i| gateway.submit(HttpRequest::get("h", "/ok", &format!("i={i}"))))
+            .collect();
+        gate.store(true, Ordering::Release);
+        let verdicts: Vec<Verdict> = tickets.into_iter().map(Ticket::wait).collect();
+        assert!(verdicts.iter().any(|v| v.is_shed()));
+        assert!(verdicts.iter().filter(|v| v.is_shed()).all(|v| v.flagged()));
+        drop(gateway);
+    }
+
+    #[test]
+    fn shutdown_drains_outstanding_tickets() {
+        let gateway = Gateway::start(
+            SignatureStore::new(free_engine()),
+            GatewayConfig {
+                shards: 2,
+                queue_capacity: 64,
+                policy: OverloadPolicy::Block,
+            },
+        );
+        let tickets: Vec<Ticket> = (0..50)
+            .map(|i| gateway.submit(HttpRequest::get("h", "/attack", &format!("i={i}"))))
+            .collect();
+        let stats = gateway.shutdown();
+        assert_eq!(stats.served, 50);
+        // Every ticket resolves even though the gateway is gone.
+        for t in tickets {
+            assert!(t.wait().flagged());
+        }
+    }
+
+    #[test]
+    fn hot_swap_mid_stream_switches_verdicts() {
+        struct Always(bool);
+        impl DetectionEngine for Always {
+            fn name(&self) -> &str {
+                "always"
+            }
+            fn evaluate(&self, _r: &HttpRequest) -> Detection {
+                Detection {
+                    flagged: self.0,
+                    matched_rules: if self.0 { vec![1] } else { vec![] },
+                    score: 0.0,
+                }
+            }
+            fn rule_count(&self) -> usize {
+                1
+            }
+        }
+        let store = SignatureStore::new(Arc::new(Always(false)));
+        let gateway = Gateway::start(Arc::clone(&store), GatewayConfig::default());
+        let req = HttpRequest::get("h", "/", "a=1");
+        assert!(!gateway.check(req.clone()).flagged());
+        assert_eq!(store.swap(Arc::new(Always(true))), 2);
+        assert!(gateway.check(req).flagged());
+        drop(gateway);
+    }
+}

@@ -1,0 +1,67 @@
+//! # psigene-serve — the inline detection gateway
+//!
+//! The paper's operational phase (§II-D) scores every incoming HTTP
+//! request against the generalized signatures; this crate is the
+//! serving subsystem that puts that scoring into a request path:
+//!
+//! - [`Gateway`] — a pool of worker shards fed by bounded MPMC
+//!   queues. Requests are submitted from any number of threads; each
+//!   shard drains its queue in order and replies through a per-call
+//!   channel, so callers can block ([`Gateway::check`]) or pipeline
+//!   ([`Gateway::submit`] → [`Ticket::wait`]).
+//! - [`OverloadPolicy`] — what happens when every queue is at its
+//!   bound: `Block` applies backpressure to the submitter, `Shed`
+//!   returns [`Verdict::Overloaded`](psigene_rulesets::Verdict)
+//!   immediately with a configurable fail-open / fail-closed
+//!   direction.
+//! - [`SignatureStore`] — an atomic-swap holder for the live engine.
+//!   [`IncrementalTrainer`-style retraining](psigene::Psigene::retrain_with)
+//!   produces a new [`Psigene`](psigene::Psigene); swapping it in
+//!   bumps a version counter and takes effect mid-traffic without
+//!   dropping a single in-flight request.
+//! - Batch submission ([`Gateway::submit_batch`]) routes a whole
+//!   batch to one shard, where
+//!   [`evaluate_batch`](psigene_rulesets::DetectionEngine::evaluate_batch)
+//!   amortizes the engine snapshot, the feature-vector allocation and
+//!   telemetry across the batch.
+//!
+//! Everything is instrumented through `psigene-telemetry`: per-shard
+//! queue-depth gauges (`serve.shard.<i>.queue_depth`),
+//! submitted/served/shed counters (`serve.*`), an end-to-end latency
+//! histogram (`serve.latency_ns`), and reload accounting
+//! (`serve.reloads`, `serve.signature_version`).
+//!
+//! # Example
+//!
+//! ```
+//! use psigene_serve::{Gateway, GatewayConfig, OverloadPolicy, SignatureStore};
+//! use psigene_http::HttpRequest;
+//! use psigene_rulesets::{BroEngine, DetectionEngine};
+//! use std::sync::Arc;
+//!
+//! // Any DetectionEngine serves; production wraps a trained Psigene.
+//! let store = SignatureStore::new(Arc::new(BroEngine::new()));
+//! let gateway = Gateway::start(
+//!     Arc::clone(&store),
+//!     GatewayConfig {
+//!         shards: 2,
+//!         queue_capacity: 64,
+//!         policy: OverloadPolicy::Shed { fail_open: true },
+//!     },
+//! );
+//! let verdict = gateway.check(HttpRequest::get("v", "/x.php", "id=-1+union+select+1,2,3"));
+//! assert!(verdict.flagged());
+//! let stats = gateway.shutdown();
+//! assert_eq!(stats.served, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod gateway;
+mod store;
+
+pub use config::{GatewayConfig, OverloadPolicy};
+pub use gateway::{BatchTicket, Gateway, GatewayStats, Ticket};
+pub use store::SignatureStore;

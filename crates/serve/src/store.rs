@@ -1,0 +1,117 @@
+//! Hot-swappable signature storage.
+
+use parking_lot::RwLock;
+use psigene_rulesets::DetectionEngine;
+use psigene_telemetry::{Counter, Gauge};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Atomic-swap holder for the live detection engine.
+///
+/// Workers take a cheap snapshot ([`SignatureStore::current`], an
+/// `Arc` clone under a read lock) per request or per batch, so a
+/// concurrent [`SignatureStore::swap`] — e.g. installing the output
+/// of [`Psigene::retrain_with`](psigene::Psigene::retrain_with) —
+/// never tears a half-evaluated request: in-flight work finishes on
+/// the snapshot it started with, new work picks up the new engine.
+/// Each swap bumps a monotonically increasing version counter
+/// (`serve.signature_version` gauge, `serve.reloads` counter).
+pub struct SignatureStore {
+    engine: RwLock<Arc<dyn DetectionEngine>>,
+    version: AtomicU64,
+    reloads: Arc<Counter>,
+    version_gauge: Arc<Gauge>,
+}
+
+impl SignatureStore {
+    /// Wraps the initial engine; version starts at 1.
+    pub fn new(engine: Arc<dyn DetectionEngine>) -> Arc<SignatureStore> {
+        let telemetry = psigene_telemetry::global();
+        let version_gauge = telemetry.gauge("serve.signature_version");
+        version_gauge.set(1.0);
+        Arc::new(SignatureStore {
+            engine: RwLock::new(engine),
+            version: AtomicU64::new(1),
+            reloads: telemetry.counter("serve.reloads"),
+            version_gauge,
+        })
+    }
+
+    /// The live engine (an `Arc` clone — cheap, lock held only for
+    /// the clone).
+    pub fn current(&self) -> Arc<dyn DetectionEngine> {
+        Arc::clone(&self.engine.read())
+    }
+
+    /// Installs a new engine mid-traffic and returns the new version.
+    /// Requests already snapshotted on the old engine finish there;
+    /// nothing is dropped.
+    pub fn swap(&self, engine: Arc<dyn DetectionEngine>) -> u64 {
+        *self.engine.write() = engine;
+        let version = self.version.fetch_add(1, Ordering::AcqRel) + 1;
+        self.reloads.inc();
+        self.version_gauge.set(version as f64);
+        version
+    }
+
+    /// The current signature-set version (1 = initial, +1 per swap).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+}
+
+impl std::fmt::Debug for SignatureStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SignatureStore")
+            .field("engine", &self.current().name().to_string())
+            .field("version", &self.version())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use psigene_http::HttpRequest;
+    use psigene_rulesets::Detection;
+
+    struct Fixed(bool);
+    impl DetectionEngine for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn evaluate(&self, _request: &HttpRequest) -> Detection {
+            Detection {
+                flagged: self.0,
+                matched_rules: if self.0 { vec![1] } else { vec![] },
+                score: if self.0 { 1.0 } else { 0.0 },
+            }
+        }
+        fn rule_count(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn swap_bumps_version_and_changes_engine() {
+        let store = SignatureStore::new(Arc::new(Fixed(false)));
+        let req = HttpRequest::get("h", "/", "a=1");
+        assert_eq!(store.version(), 1);
+        assert!(!store.current().evaluate(&req).flagged);
+        let v = store.swap(Arc::new(Fixed(true)));
+        assert_eq!(v, 2);
+        assert_eq!(store.version(), 2);
+        assert!(store.current().evaluate(&req).flagged);
+    }
+
+    #[test]
+    fn old_snapshot_survives_swap() {
+        let store = SignatureStore::new(Arc::new(Fixed(false)));
+        let old = store.current();
+        store.swap(Arc::new(Fixed(true)));
+        let req = HttpRequest::get("h", "/", "a=1");
+        // The pre-swap snapshot still answers as the old engine.
+        assert!(!old.evaluate(&req).flagged);
+        assert!(store.current().evaluate(&req).flagged);
+    }
+}

@@ -1,115 +1,183 @@
-//! A miniature IDS gateway: four detection engines watch the same
-//! mixed traffic stream and their verdicts are compared side by side
-//! — the situation the paper's Table V abstracts.
+//! An inline IDS gateway serving mixed traffic: a trained pSigene
+//! system behind the sharded `psigene-serve` gateway, with concurrent
+//! submitters, a mid-stream hot signature reload (the output of
+//! incremental retraining swapped in under load) and the serving
+//! telemetry the paper's operational phase (§II-D) implies.
 //!
 //! ```text
-//! cargo run --release -p psigene --example ids_gateway
+//! cargo run --release -p psigene-serve --example ids_gateway
+//! cargo run --release -p psigene-serve --example ids_gateway -- --quick
 //! ```
 
 use psigene::{PipelineConfig, Psigene};
 use psigene_corpus::{
     arachni::{self, ArachniConfig},
     benign::{self, BenignConfig},
-    Dataset, Label,
+    sqlmap::{self, SqlmapConfig},
+    Dataset,
 };
 use psigene_learn::ConfusionMatrix;
-use psigene_rulesets::{BroEngine, DetectionEngine, ModsecEngine, SnortEngine};
+use psigene_rulesets::DetectionEngine;
+use psigene_serve::{Gateway, GatewayConfig, OverloadPolicy, SignatureStore};
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (crawl, benign_train, cap, stream_benign, stream_attacks) = if quick {
+        (300, 1200, 300, 400, 60)
+    } else {
+        (1500, 10_000, 900, 2000, 150)
+    };
+
     println!("training pSigene...");
     let system = Psigene::train(&PipelineConfig {
-        crawl_samples: 1500,
-        benign_train: 10_000,
-        cluster_sample_cap: 900,
+        crawl_samples: crawl,
+        benign_train,
+        cluster_sample_cap: cap,
         ..PipelineConfig::default()
     });
-    let bro = BroEngine::new();
-    let snort = SnortEngine::new();
-    let modsec = ModsecEngine::new();
-    let engines: Vec<&dyn DetectionEngine> = vec![&system, &modsec, &snort, &bro];
+    println!("trained {} signatures", system.signatures().len());
+
+    // The gateway: sharded workers over the hot-swappable store,
+    // shedding fail-open if the queues ever hit their bound.
+    let shards = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(4);
+    let store = SignatureStore::new(Arc::new(system.clone()) as Arc<dyn DetectionEngine>);
+    let gateway = Gateway::start(
+        Arc::clone(&store),
+        GatewayConfig {
+            shards,
+            queue_capacity: 256,
+            policy: OverloadPolicy::Shed { fail_open: true },
+        },
+    );
 
     // A mixed stream: mostly benign with scanner traffic woven in.
     let mut stream = Dataset::new();
     stream.extend(benign::generate(&BenignConfig {
-        requests: 2000,
+        requests: stream_benign,
         include_novel_tail: true,
         ..Default::default()
     }));
     stream.extend(arachni::generate(&ArachniConfig {
-        samples: 150,
+        samples: stream_attacks,
         ..Default::default()
     }));
     stream.shuffle(&mut rand_chacha::ChaCha8Rng::seed_from_u64(0xf00d));
 
     println!(
-        "processing {} requests ({} attacks hidden in the stream)\n",
+        "serving {} requests ({} attacks hidden in the stream) on {} shards\n",
         stream.len(),
-        stream.attack_count()
+        stream.attack_count(),
+        shards
     );
 
-    let mut matrices = vec![ConfusionMatrix::default(); engines.len()];
-    let mut shown = 0;
-    for sample in &stream.samples {
-        let is_attack = sample.label.is_attack();
-        let verdicts: Vec<bool> = engines
-            .iter()
-            .map(|e| e.evaluate(&sample.request).flagged)
-            .collect();
-        for (m, &flagged) in matrices.iter_mut().zip(&verdicts) {
-            m.record(is_attack, flagged);
+    // Concurrent submitters: each owns a stripe of the stream; one
+    // extra thread performs a hot signature reload mid-traffic with
+    // the incremental trainer's output.
+    let n_submitters = 4usize;
+    let tp = AtomicU64::new(0);
+    let fp = AtomicU64::new(0);
+    let fnn = AtomicU64::new(0);
+    let tn = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for t in 0..n_submitters {
+            let gateway = &gateway;
+            let stream = &stream;
+            let (tp, fp, fnn, tn, shed) = (&tp, &fp, &fnn, &tn, &shed);
+            s.spawn(move || {
+                for sample in stream.samples.iter().skip(t).step_by(n_submitters) {
+                    let verdict = gateway.check(sample.request.clone());
+                    if verdict.is_shed() {
+                        shed.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    let counter = match (sample.label.is_attack(), verdict.flagged()) {
+                        (true, true) => tp,
+                        (true, false) => fnn,
+                        (false, true) => fp,
+                        (false, false) => tn,
+                    };
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }
+            });
         }
-        // Print the first few disagreements — the interesting cases.
-        let agree = verdicts.iter().all(|&v| v == verdicts[0]);
-        if !agree && shown < 8 {
-            shown += 1;
-            let family = match sample.label {
-                Label::Attack(f) => f.name(),
-                Label::Benign => "benign",
-            };
+        // Hot reload under load: fold fresh attack samples in via the
+        // incremental trainer, then atomically swap the result live.
+        let store = &store;
+        let system = &system;
+        s.spawn(move || {
+            let fresh = sqlmap::generate(&SqlmapConfig {
+                samples: if quick { 40 } else { 200 },
+                seed: 0x1e10ad,
+                ..Default::default()
+            });
+            let (retrained, stats) = system.retrain_with(&fresh, 2);
+            let version = store.swap(Arc::new(retrained) as Arc<dyn DetectionEngine>);
             println!(
-                "disagreement on {:<18} {:<60} {}",
-                format!("[{family}]"),
-                truncate(&sample.request.request_target(), 60),
-                engines
-                    .iter()
-                    .zip(&verdicts)
-                    .map(|(e, v)| format!(
-                        "{}:{}",
-                        short(e.name()),
-                        if *v { "ALERT" } else { "ok" }
-                    ))
-                    .collect::<Vec<_>>()
-                    .join("  ")
+                "hot reload: {} samples assigned, {} signatures refitted → live version {}",
+                stats.assigned, stats.retrained_signatures, version
             );
-        }
+        });
+    });
+
+    let mut cm = ConfusionMatrix::default();
+    for _ in 0..tp.load(Ordering::Relaxed) {
+        cm.record(true, true);
+    }
+    for _ in 0..fnn.load(Ordering::Relaxed) {
+        cm.record(true, false);
+    }
+    for _ in 0..fp.load(Ordering::Relaxed) {
+        cm.record(false, true);
+    }
+    for _ in 0..tn.load(Ordering::Relaxed) {
+        cm.record(false, false);
     }
 
     println!(
         "\n{:<26} {:>8} {:>8} {:>10} {:>8}",
         "ENGINE", "TPR", "FPR", "PRECISION", "F1"
     );
-    for (e, m) in engines.iter().zip(&matrices) {
-        println!(
-            "{:<26} {:>7.1}% {:>7.2}% {:>9.1}% {:>8.3}",
-            e.name(),
-            m.tpr() * 100.0,
-            m.fpr() * 100.0,
-            m.precision() * 100.0,
-            m.f1()
-        );
-    }
+    println!(
+        "{:<26} {:>7.1}% {:>7.2}% {:>9.1}% {:>8.3}",
+        store.current().name(),
+        cm.tpr() * 100.0,
+        cm.fpr() * 100.0,
+        cm.precision() * 100.0,
+        cm.f1()
+    );
 
-    // What the pSigene engine observed about itself while serving the
-    // stream — latency distribution and which signatures fired.
-    let snap = system.telemetry_snapshot();
-    if let Some(h) = snap.histograms.get("detector.latency_ns") {
+    // What the gateway observed about itself while serving.
+    let stats = gateway.shutdown();
+    println!(
+        "\ngateway: {} submitted / {} served / {} shed (signature version {})",
+        stats.submitted,
+        stats.served,
+        stats.shed,
+        store.version()
+    );
+    let snap = psigene_telemetry::global().snapshot();
+    if let Some(h) = snap.histograms.get("serve.latency_ns") {
         if let (Some(p50), Some(p99)) = (h.p50(), h.p99()) {
             println!(
-                "\npSigene detection latency: p50 {:.1} µs / p99 {:.1} µs over {} requests",
+                "end-to-end serve latency: p50 {:.1} µs / p99 {:.1} µs over {} requests",
                 p50 as f64 / 1000.0,
                 p99 as f64 / 1000.0,
                 h.count()
+            );
+        }
+    }
+    if let Some(h) = snap.histograms.get("detector.latency_ns") {
+        if let (Some(p50), Some(p99)) = (h.p50(), h.p99()) {
+            println!(
+                "detector-only latency:    p50 {:.1} µs / p99 {:.1} µs",
+                p50 as f64 / 1000.0,
+                p99 as f64 / 1000.0
             );
         }
     }
@@ -124,17 +192,5 @@ fn main() {
         for (id, n) in &hits {
             println!("  signature {id:>3}: {n:>6} hits");
         }
-    }
-}
-
-fn short(name: &str) -> &str {
-    name.split_whitespace().next().unwrap_or(name)
-}
-
-fn truncate(s: &str, n: usize) -> String {
-    if s.chars().count() <= n {
-        s.to_string()
-    } else {
-        s.chars().take(n - 1).collect::<String>() + "…"
     }
 }

@@ -15,4 +15,13 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# The gateway's concurrency guarantees only mean something with real
+# parallelism: run the serving integration test with RUST_TEST_THREADS
+# unset so its 8-submitter fan-out isn't serialized by the test harness.
+echo "==> gateway serving integration test (parallel submitters)"
+env -u RUST_TEST_THREADS cargo test --release -p psigene-serve --test gateway_serving -q
+
+echo "==> ids_gateway example smoke run"
+cargo run --release -p psigene-serve --example ids_gateway -- --quick >/dev/null
+
 echo "CI OK"

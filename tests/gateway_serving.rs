@@ -1,0 +1,259 @@
+//! Concurrency integration tests for the serving gateway: verdict
+//! equivalence under parallel submission, hot signature reload under
+//! traffic, and the shed policy at the queue bound.
+//!
+//! Run with `RUST_TEST_THREADS` unset so the submitter fan-out gets
+//! real parallelism (scripts/ci.sh does).
+
+use psigene::{PipelineConfig, Psigene};
+use psigene_corpus::benign::{self, BenignConfig};
+use psigene_corpus::sqlmap::{self, SqlmapConfig};
+use psigene_corpus::Dataset;
+use psigene_http::HttpRequest;
+use psigene_rulesets::{Detection, DetectionEngine, Verdict};
+use psigene_serve::{Gateway, GatewayConfig, OverloadPolicy, SignatureStore};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// One small trained system shared by every test in this binary
+/// (training is the expensive part; the gateway under test is cheap).
+fn system() -> &'static Psigene {
+    static SYSTEM: OnceLock<Psigene> = OnceLock::new();
+    SYSTEM.get_or_init(|| {
+        Psigene::train(&PipelineConfig {
+            crawl_samples: 300,
+            benign_train: 1200,
+            cluster_sample_cap: 300,
+            threads: 2,
+            ..PipelineConfig::default()
+        })
+    })
+}
+
+/// A mixed attack+benign request stream.
+fn stream(attacks: usize, benign_n: usize) -> Vec<HttpRequest> {
+    let mut ds = Dataset::new();
+    ds.extend(sqlmap::generate(&SqlmapConfig {
+        samples: attacks,
+        ..Default::default()
+    }));
+    ds.extend(benign::generate(&BenignConfig {
+        requests: benign_n,
+        ..Default::default()
+    }));
+    ds.samples.into_iter().map(|s| s.request).collect()
+}
+
+fn same_detection(a: &Detection, b: &Detection) -> bool {
+    a.flagged == b.flagged
+        && a.matched_rules == b.matched_rules
+        && (a.score - b.score).abs() < 1e-12
+}
+
+#[test]
+fn concurrent_verdicts_match_sequential_evaluation() {
+    let p = system();
+    let requests = stream(120, 360);
+    let sequential: Vec<Detection> = requests.iter().map(|r| p.evaluate(r)).collect();
+
+    let engine: Arc<dyn DetectionEngine> = Arc::new(p.clone());
+    let gateway = Gateway::start(
+        SignatureStore::new(engine),
+        GatewayConfig {
+            shards: 4,
+            queue_capacity: 64,
+            policy: OverloadPolicy::Block,
+        },
+    );
+
+    // 8 submitters, each owning a disjoint stripe of the stream; half
+    // submit one-by-one, half in batches.
+    let n_submitters = 8;
+    let results: Vec<(usize, Vec<Verdict>)> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..n_submitters {
+            let gateway = &gateway;
+            let requests = &requests;
+            handles.push(s.spawn(move || {
+                let mine: Vec<HttpRequest> = requests
+                    .iter()
+                    .skip(t)
+                    .step_by(n_submitters)
+                    .cloned()
+                    .collect();
+                let verdicts = if t % 2 == 0 {
+                    mine.into_iter().map(|r| gateway.check(r)).collect()
+                } else {
+                    gateway.check_batch(mine)
+                };
+                (t, verdicts)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("submitter"))
+            .collect()
+    });
+
+    for (t, verdicts) in results {
+        for (i, v) in verdicts.iter().enumerate() {
+            let global_idx = t + i * n_submitters;
+            let d = v.detection().expect("Block policy never sheds");
+            assert!(
+                same_detection(d, &sequential[global_idx]),
+                "submitter {t}, request {global_idx}: gateway {d:?} vs sequential {:?}",
+                sequential[global_idx]
+            );
+        }
+    }
+    let stats = gateway.shutdown();
+    assert_eq!(stats.submitted, requests.len() as u64);
+    assert_eq!(stats.served, requests.len() as u64);
+    assert_eq!(stats.shed, 0);
+}
+
+#[test]
+fn hot_reload_mid_traffic_drops_and_misroutes_nothing() {
+    let p = system();
+    // The reload target: the incremental trainer's output, exactly
+    // what a live signature correction would install.
+    let fresh = sqlmap::generate(&SqlmapConfig {
+        samples: 80,
+        seed: 0xfeed,
+        ..Default::default()
+    });
+    let (retrained, _) = p.retrain_with(&fresh, 2);
+
+    let requests = stream(100, 300);
+    // Expected verdicts under both engines; a request whose verdict
+    // is invariant across the swap must come back with exactly that
+    // verdict no matter when the reload lands.
+    let before: Vec<Detection> = requests.iter().map(|r| p.evaluate(r)).collect();
+    let after: Vec<Detection> = requests.iter().map(|r| retrained.evaluate(r)).collect();
+
+    let store = SignatureStore::new(Arc::new(p.clone()) as Arc<dyn DetectionEngine>);
+    let gateway = Gateway::start(
+        Arc::clone(&store),
+        GatewayConfig {
+            shards: 4,
+            queue_capacity: 32,
+            policy: OverloadPolicy::Block,
+        },
+    );
+
+    let n_submitters = 4;
+    let rounds = 3usize; // every submitter pushes its stripe 3 times
+    let done = AtomicBool::new(false);
+    let verdict_count = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..n_submitters {
+            let gateway = &gateway;
+            let requests = &requests;
+            let before = &before;
+            let after = &after;
+            let verdict_count = &verdict_count;
+            handles.push(s.spawn(move || {
+                for _ in 0..rounds {
+                    for (i, r) in requests.iter().enumerate().skip(t).step_by(n_submitters) {
+                        let v = gateway.check(r.clone());
+                        verdict_count.fetch_add(1, Ordering::Relaxed);
+                        let d = v.detection().expect("Block policy never sheds");
+                        assert!(
+                            same_detection(d, &before[i]) || same_detection(d, &after[i]),
+                            "request {i} misrouted: got {d:?}, expected {:?} or {:?}",
+                            before[i],
+                            after[i]
+                        );
+                    }
+                }
+            }));
+        }
+        // Reload mid-traffic, twice, while submitters are pushing.
+        let store = &store;
+        let retrained = retrained.clone();
+        let done = &done;
+        handles.push(s.spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            assert_eq!(store.swap(Arc::new(retrained.clone())), 2);
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            assert_eq!(store.swap(Arc::new(retrained)), 3);
+            done.store(true, Ordering::Release);
+        }));
+        for h in handles {
+            h.join().expect("thread");
+        }
+    });
+    assert!(done.load(Ordering::Acquire), "reloader never ran");
+    assert_eq!(store.version(), 3);
+
+    // Every stripe covers the stream exactly once per round.
+    let expected = (requests.len() * rounds) as u64;
+    assert_eq!(verdict_count.load(Ordering::Relaxed), expected);
+    let stats = gateway.shutdown();
+    assert_eq!(stats.submitted, expected, "requests dropped at submission");
+    assert_eq!(stats.served, expected, "requests dropped in flight");
+    assert_eq!(stats.shed, 0);
+}
+
+#[test]
+fn shed_policy_fires_at_the_configured_bound() {
+    // A gated engine pins the single worker so the queue fills
+    // deterministically.
+    struct Gated(Arc<AtomicBool>);
+    impl DetectionEngine for Gated {
+        fn name(&self) -> &str {
+            "gated"
+        }
+        fn evaluate(&self, _r: &HttpRequest) -> Detection {
+            while !self.0.load(Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            Detection::default()
+        }
+        fn rule_count(&self) -> usize {
+            0
+        }
+    }
+
+    let gate = Arc::new(AtomicBool::new(false));
+    let capacity = 3usize;
+    let gateway = Gateway::start(
+        SignatureStore::new(Arc::new(Gated(Arc::clone(&gate)))),
+        GatewayConfig {
+            shards: 1,
+            queue_capacity: capacity,
+            policy: OverloadPolicy::Shed { fail_open: true },
+        },
+    );
+
+    // With the worker gated, at most capacity+1 submissions can be
+    // accepted (one in the worker's hands, `capacity` queued);
+    // everything past that must shed immediately.
+    let total = capacity + 5;
+    let tickets: Vec<_> = (0..total)
+        .map(|i| gateway.submit(HttpRequest::get("h", "/x", &format!("i={i}"))))
+        .collect();
+    let stats = gateway.stats();
+    assert!(
+        stats.shed >= (total - capacity - 1) as u64,
+        "expected at least {} sheds, got {stats:?}",
+        total - capacity - 1
+    );
+    assert!(
+        stats.submitted <= (capacity + 1) as u64,
+        "accepted past the bound: {stats:?}"
+    );
+
+    gate.store(true, Ordering::Release);
+    let verdicts: Vec<Verdict> = tickets.into_iter().map(|t| t.wait()).collect();
+    let shed = verdicts.iter().filter(|v| v.is_shed()).count() as u64;
+    assert_eq!(shed, stats.shed, "shed counter disagrees with verdicts");
+    // fail_open: shed traffic passes unflagged.
+    assert!(verdicts
+        .iter()
+        .filter(|v| v.is_shed())
+        .all(|v| !v.flagged()));
+    let final_stats = gateway.shutdown();
+    assert_eq!(final_stats.served + final_stats.shed, total as u64);
+}

@@ -1,0 +1,373 @@
+//! Offline stand-in for `crossbeam-channel`: multi-producer
+//! multi-consumer channels over `std`'s `Mutex` + `Condvar`.
+//!
+//! Only the API surface this workspace uses is implemented:
+//! [`bounded`] / [`unbounded`] constructors, blocking [`Sender::send`]
+//! and [`Receiver::recv`], the non-blocking [`Sender::try_send`] /
+//! [`Receiver::try_recv`], and queue introspection (`len`,
+//! `is_empty`, `capacity`). Disconnect semantics match crossbeam:
+//! once every `Sender` is dropped a receiver drains the remaining
+//! messages and then gets `RecvError`; once every `Receiver` is
+//! dropped a send fails with the message handed back.
+//!
+//! Unlike crossbeam's lock-free segmented queues, this stand-in takes
+//! one mutex per operation — plenty for the workload sizes the
+//! workspace's gateway and benches push through it, and exactly as
+//! observable from the outside.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned by [`Sender::send`] when every receiver is gone;
+/// carries the unsent message back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The queue is at capacity; the message is handed back.
+    Full(T),
+    /// Every receiver is gone; the message is handed back.
+    Disconnected(T),
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// every sender is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The queue is currently empty (senders still connected).
+    Empty,
+    /// The queue is empty and every sender is gone.
+    Disconnected,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    capacity: Option<usize>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// The sending half of a channel (cloneable).
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// The receiving half of a channel (cloneable — consumers compete for
+/// messages).
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a channel holding at most `capacity` in-flight messages.
+///
+/// # Panics
+/// Panics when `capacity` is zero (rendezvous channels are not
+/// implemented in this stand-in).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "bounded(0) rendezvous channels unsupported");
+    make(Some(capacity))
+}
+
+/// Creates a channel with no capacity bound.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    make(None)
+}
+
+fn make<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            capacity,
+            senders: 1,
+            receivers: 1,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a message, blocking while the queue is at capacity.
+    /// Fails (returning the message) once every receiver is dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            let full = inner
+                .capacity
+                .is_some_and(|capacity| inner.queue.len() >= capacity);
+            if !full {
+                inner.queue.push_back(msg);
+                drop(inner);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.shared.not_full.wait(inner).expect("channel poisoned");
+        }
+    }
+
+    /// Enqueues without blocking; fails with [`TrySendError::Full`]
+    /// at capacity.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        if inner.receivers == 0 {
+            return Err(TrySendError::Disconnected(msg));
+        }
+        let full = inner
+            .capacity
+            .is_some_and(|capacity| inner.queue.len() >= capacity);
+        if full {
+            return Err(TrySendError::Full(msg));
+        }
+        inner.queue.push_back(msg);
+        drop(inner);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared
+            .inner
+            .lock()
+            .expect("channel poisoned")
+            .queue
+            .len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The channel's capacity (`None` for unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.shared.inner.lock().expect("channel poisoned").capacity
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Dequeues a message, blocking while the queue is empty. Fails
+    /// once the queue is drained and every sender is dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        loop {
+            if let Some(msg) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(msg);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self.shared.not_empty.wait(inner).expect("channel poisoned");
+        }
+    }
+
+    /// Dequeues without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.inner.lock().expect("channel poisoned");
+        match inner.queue.pop_front() {
+            Some(msg) => {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                Ok(msg)
+            }
+            None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared
+            .inner
+            .lock()
+            .expect("channel poisoned")
+            .queue
+            .len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        self.shared.inner.lock().expect("channel poisoned").senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Receiver<T> {
+        self.shared
+            .inner
+            .lock()
+            .expect("channel poisoned")
+            .receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut inner = self.shared.inner.lock().expect("channel poisoned");
+            inner.senders -= 1;
+            inner.senders
+        };
+        if remaining == 0 {
+            // Wake blocked receivers so they observe the disconnect.
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let remaining = {
+            let mut inner = self.shared.inner.lock().expect("channel poisoned");
+            inner.receivers -= 1;
+            inner.receivers
+        };
+        if remaining == 0 {
+            // Wake blocked senders so they observe the disconnect.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn bounded_send_recv_in_order() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).expect("send");
+        }
+        assert_eq!(tx.len(), 4);
+        for i in 0..4 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn try_send_reports_full_at_capacity() {
+        let (tx, rx) = bounded(2);
+        tx.try_send(1).expect("first");
+        tx.try_send(2).expect("second");
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).expect("after drain");
+    }
+
+    #[test]
+    fn receiver_drains_after_senders_drop() {
+        let (tx, rx) = bounded(8);
+        tx.send("a").expect("send");
+        tx.send("b").expect("send");
+        drop(tx);
+        assert_eq!(rx.recv(), Ok("a"));
+        assert_eq!(rx.recv(), Ok("b"));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_once_receivers_gone() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+        assert!(matches!(tx.try_send(8), Err(TrySendError::Disconnected(8))));
+    }
+
+    #[test]
+    fn blocked_sender_wakes_on_recv() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u64).expect("fill");
+        let producer = thread::spawn(move || tx.send(1).expect("unblocked send"));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(0));
+        producer.join().expect("producer");
+        assert_eq!(rx.recv(), Ok(1));
+    }
+
+    #[test]
+    fn mpmc_delivers_every_message_exactly_once() {
+        let (tx, rx) = bounded(16);
+        let mut producers = Vec::new();
+        for p in 0..4u64 {
+            let tx = tx.clone();
+            producers.push(thread::spawn(move || {
+                for i in 0..250u64 {
+                    tx.send(p * 1000 + i).expect("send");
+                }
+            }));
+        }
+        drop(tx);
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let rx = rx.clone();
+            consumers.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx.recv() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+        for p in producers {
+            p.join().expect("producer");
+        }
+        drop(rx);
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().expect("consumer"))
+            .collect();
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..4u64)
+            .flat_map(|p| (0..250u64).map(move |i| p * 1000 + i))
+            .collect();
+        assert_eq!(all, expect);
+    }
+}

@@ -2,9 +2,14 @@
 //!
 //! Provides the `crossbeam::scope` API shape over
 //! `std::thread::scope` (std has had scoped threads since 1.63, after
-//! crossbeam pioneered them). Only the pieces this workspace uses are
-//! implemented: `scope`, `Scope::spawn` (whose closure receives the
-//! scope, crossbeam-style) and `ScopedJoinHandle::join`.
+//! crossbeam pioneered them) and the `crossbeam::channel` MPMC
+//! channels (see [`channel`]). Only the pieces this workspace uses
+//! are implemented: `scope`, `Scope::spawn` (whose closure receives
+//! the scope, crossbeam-style), `ScopedJoinHandle::join`, and the
+//! bounded/unbounded channel constructors with blocking and
+//! non-blocking send/recv.
+
+pub mod channel;
 
 use std::thread;
 
