@@ -2,20 +2,40 @@
 //! each engine (pSigene's `count_all`-per-feature scoring vs the
 //! deterministic matchers). The paper reports pSigene at 390/995/1950
 //! µs (min/avg/max) and ~17× / ~11× slower than ModSecurity / Bro.
+//!
+//! The `multilit_prescan` group isolates the operational-phase cost
+//! the paper's throughput comparison hinges on: full-library feature
+//! extraction with the one-pass Aho–Corasick prescan versus the
+//! per-feature baseline, on an attack/benign traffic mix. When
+//! `PSIGENE_BENCH_JSON` names a file, the same workloads are timed
+//! wall-clock and written as payloads/sec so CI keeps a perf
+//! trajectory (`PSIGENE_BENCH_QUICK=1` shrinks sample counts for the
+//! CI gate).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use psigene::{PipelineConfig, Psigene};
 use psigene_corpus::benign::{self, BenignConfig};
 use psigene_corpus::sqlmap::{self, SqlmapConfig};
+use psigene_features::{extract, FeatureSet};
 use psigene_rulesets::{BroEngine, DetectionEngine, ModsecEngine, SnortEngine};
+use std::time::Instant;
+
+fn quick() -> bool {
+    std::env::var_os("PSIGENE_BENCH_QUICK").is_some()
+}
 
 fn bench_engines(c: &mut Criterion) {
     // A small but real trained system (training cost is outside the
     // measurement).
+    let (crawl, benign_n, cap) = if quick() {
+        (300, 1200, 300)
+    } else {
+        (1000, 6000, 600)
+    };
     let system = Psigene::train(&PipelineConfig {
-        crawl_samples: 1000,
-        benign_train: 6000,
-        cluster_sample_cap: 600,
+        crawl_samples: crawl,
+        benign_train: benign_n,
+        cluster_sample_cap: cap,
         ..PipelineConfig::default()
     });
     let bro = BroEngine::new();
@@ -92,6 +112,119 @@ fn bench_engines(c: &mut Criterion) {
         b.iter(|| std::hint::black_box(system.evaluate_batch(&requests).len()))
     });
     hot.finish();
+
+    // ── One-pass multi-pattern prescan vs the per-feature baseline ──
+    // The full raw library (the paper's ~477-feature scale) is where
+    // per-feature scanning hurts: the baseline traverses the payload
+    // once per feature, the prescan once per payload.
+    let full = FeatureSet::full();
+    full.compiled(); // build the automaton outside the measurement
+    let naive = full.with_prescan(false);
+    let attack_payloads: Vec<&[u8]> = attacks
+        .samples
+        .iter()
+        .map(|s| s.request.detection_payload())
+        .collect();
+    let benign_payloads: Vec<&[u8]> = benign
+        .samples
+        .iter()
+        .map(|s| s.request.detection_payload())
+        .collect();
+    // The operational mix the paper measures against: mostly benign
+    // traffic with occasional attacks (1 in 8 here).
+    let mixed: Vec<&[u8]> = benign_payloads
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            if i % 8 == 0 {
+                attack_payloads[i % attack_payloads.len()]
+            } else {
+                p
+            }
+        })
+        .collect();
+
+    let mut prescan = c.benchmark_group("multilit_prescan");
+    prescan.sample_size(if quick() { 10 } else { 20 });
+    for (traffic, payloads) in [
+        ("benign", &benign_payloads),
+        ("attack", &attack_payloads),
+        ("mixed", &mixed),
+    ] {
+        for (mode, set) in [("prescan", &full), ("per_feature", &naive)] {
+            prescan.bench_with_input(
+                BenchmarkId::new(format!("extract_row_{traffic}"), mode),
+                payloads,
+                |b, ps| {
+                    let mut i = 0;
+                    b.iter(|| {
+                        let p = ps[i % ps.len()];
+                        i += 1;
+                        std::hint::black_box(extract::extract_row(set, p).len())
+                    });
+                },
+            );
+        }
+    }
+    prescan.finish();
+
+    if let Some(path) = std::env::var_os("PSIGENE_BENCH_JSON") {
+        write_bench_json(&path, &full, &naive, &benign_payloads, &attack_payloads);
+    }
+}
+
+/// Wall-clock payloads/sec for one extraction mode over a payload set.
+fn payloads_per_sec(set: &FeatureSet, payloads: &[&[u8]], passes: usize) -> f64 {
+    // One warmup pass, then timed passes over the whole set.
+    for p in payloads {
+        std::hint::black_box(extract::extract_row(set, p).len());
+    }
+    let start = Instant::now();
+    for _ in 0..passes {
+        for p in payloads {
+            std::hint::black_box(extract::extract_row(set, p).len());
+        }
+    }
+    (passes * payloads.len()) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Emits the naive-vs-prescan throughput record CI tracks across PRs.
+fn write_bench_json(
+    path: &std::ffi::OsStr,
+    full: &FeatureSet,
+    naive: &FeatureSet,
+    benign: &[&[u8]],
+    attacks: &[&[u8]],
+) {
+    let passes = if quick() { 3 } else { 10 };
+    let benign_prescan = payloads_per_sec(full, benign, passes);
+    let benign_naive = payloads_per_sec(naive, benign, passes);
+    let attack_prescan = payloads_per_sec(full, attacks, passes);
+    let attack_naive = payloads_per_sec(naive, attacks, passes);
+    let json = format!(
+        "{{\n  \"bench\": \"matching\",\n  \"mode\": \"{}\",\n  \"features\": {},\n  \
+         \"benign\": {{ \"naive_payloads_per_sec\": {:.1}, \"prescan_payloads_per_sec\": {:.1}, \
+         \"speedup\": {:.2} }},\n  \
+         \"attack\": {{ \"naive_payloads_per_sec\": {:.1}, \"prescan_payloads_per_sec\": {:.1}, \
+         \"speedup\": {:.2} }}\n}}\n",
+        if quick() { "quick" } else { "full" },
+        full.len(),
+        benign_naive,
+        benign_prescan,
+        benign_prescan / benign_naive,
+        attack_naive,
+        attack_prescan,
+        attack_prescan / attack_naive,
+    );
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(path, &json).expect("write PSIGENE_BENCH_JSON");
+    println!(
+        "multilit_prescan throughput record -> {}",
+        path.to_string_lossy()
+    );
+    print!("{json}");
 }
 
 criterion_group! {

@@ -6,7 +6,11 @@
 //! [`Psigene::features_into`] produce the dense vector, and
 //! [`Psigene::score_features`] / [`Psigene::probabilities_from`]
 //! consume it. `evaluate` composes the two; the serving gateway's
-//! batch path calls them directly with a reused buffer.
+//! batch path calls them directly with a reused buffer. Extraction
+//! itself is gated by the feature set's one-pass literal prescan
+//! (see `psigene_features::prescan`), so on quiet traffic most
+//! feature VMs never run; [`Psigene::with_prescan`] forces the
+//! always-run path for equivalence checks and baselines.
 //!
 //! Telemetry handles are resolved once per process (not per request):
 //! the hot path touches pre-fetched `Arc<Counter>` / `Arc<Histogram>`
@@ -70,9 +74,12 @@ fn metrics() -> &'static DetectorMetrics {
 }
 
 impl Psigene {
-    /// Feature values of a request over the pruned feature set —
-    /// one `count_all` per feature, as the paper's Bro
-    /// implementation does (§III-C).
+    /// Feature values of a request over the pruned feature set. The
+    /// paper's Bro implementation runs one `count_all` per feature
+    /// (§III-C); here a set-level literal prescan makes one pass over
+    /// the normalized payload first and dispatches `count_all` only
+    /// to candidate features — identical values, a fraction of the
+    /// scans (see `features.vm_runs_skipped` in telemetry).
     pub fn features_of(&self, request: &HttpRequest) -> Vec<f64> {
         let mut f = Vec::new();
         self.features_into(request, &mut f);
@@ -268,6 +275,28 @@ mod tests {
             assert_eq!(d.flagged, single.flagged);
             assert_eq!(d.matched_rules, single.matched_rules);
             assert!((d.score - single.score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn prescan_and_forced_path_verdicts_are_identical() {
+        let p = trained();
+        let forced = p.with_prescan(false);
+        let queries = [
+            "id=-1+union+select+1,2,3--",
+            "page=2&sort=asc",
+            "id=1'+or+'1'='1",
+            "q=summer+housing",
+            "id=1+and+sleep(5)--",
+        ];
+        for q in queries {
+            let req = HttpRequest::get("v", "/x.php", q);
+            assert_eq!(p.features_of(&req), forced.features_of(&req), "{q}");
+            let a = p.evaluate(&req);
+            let b = forced.evaluate(&req);
+            assert_eq!(a.flagged, b.flagged, "{q}");
+            assert_eq!(a.matched_rules, b.matched_rules, "{q}");
+            assert_eq!(a.score.to_bits(), b.score.to_bits(), "{q}");
         }
     }
 

@@ -274,6 +274,11 @@ impl Psigene {
         }
         report.phase_seconds.train = train_span.finish().as_secs_f64();
 
+        // Warm the set-level literal prescan now so the first request
+        // against the trained system pays no build latency (clones —
+        // retrained copies, threshold sweeps — share the automaton).
+        pruned.compiled();
+
         Psigene {
             name: format!("pSigene ({} signatures)", signatures.len()),
             binary: config.binary_features,
@@ -349,6 +354,16 @@ impl Psigene {
         for s in &mut out.signatures {
             s.threshold = threshold;
         }
+        out
+    }
+
+    /// A copy with the set-level literal prescan toggled. With
+    /// `false`, detection extracts features on the forced always-run
+    /// path (one VM run per feature) — byte-identical verdicts,
+    /// kept as the equivalence oracle and benchmark baseline.
+    pub fn with_prescan(&self, enabled: bool) -> Psigene {
+        let mut out = self.clone();
+        out.feature_set = out.feature_set.with_prescan(enabled);
         out
     }
 }

@@ -1,26 +1,154 @@
 //! Feature extraction: payloads → sparse sample×feature matrices.
 //!
 //! Payloads are first normalized with the five transformations of
-//! §II-A, then every feature's `count_all` runs over the normalized
-//! bytes. Extraction parallelizes over samples with crossbeam scoped
-//! threads (each sample is independent).
+//! §II-A. Extraction then makes **one pass** over the normalized
+//! bytes with the set-level literal prescan
+//! ([`crate::prescan::CompiledFeatureSet`]) to decide which features
+//! can possibly match, and runs `count_all` only on those candidates
+//! (plus the always-run features that have no literal requirement).
+//! The candidate set is a superset of the matching features, so the
+//! output is identical to running every feature — verified by
+//! property test in `crate::proptests`. Matrix extraction
+//! parallelizes over samples with crossbeam scoped threads (each
+//! sample is independent).
 
 use crate::set::FeatureSet;
 use psigene_http::normalize::normalize;
 use psigene_linalg::{CsrBuilder, CsrMatrix};
+use psigene_regex::CandidateSet;
+use psigene_telemetry::{Counter, Gauge};
+use std::cell::RefCell;
+use std::sync::{Arc, OnceLock};
+
+/// Accounting for one or more extractions: how many feature VMs
+/// actually ran versus were skipped by the set-level prescan.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ExtractStats {
+    /// Feature VM invocations (`count_all` runs) that happened.
+    pub vm_runs: u64,
+    /// VM runs skipped: prefilterable features with none of their
+    /// literals in the payload.
+    pub vm_runs_skipped: u64,
+    /// Features the literal engine flagged as candidates (excludes
+    /// the always-run list, which never consults the engine).
+    pub prefilter_candidates: u64,
+}
+
+impl ExtractStats {
+    fn absorb(&mut self, other: ExtractStats) {
+        self.vm_runs += other.vm_runs;
+        self.vm_runs_skipped += other.vm_runs_skipped;
+        self.prefilter_candidates += other.prefilter_candidates;
+    }
+
+    /// Fraction of potential VM runs the prescan eliminated.
+    pub fn skip_ratio(&self) -> f64 {
+        let total = self.vm_runs + self.vm_runs_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.vm_runs_skipped as f64 / total as f64
+        }
+    }
+}
+
+/// Pre-resolved telemetry handles for the extraction hot path
+/// (string-keyed registry lookups happen once per process).
+struct ExtractMetrics {
+    regex_evals: Arc<Counter>,
+    prefilter_candidates: Arc<Counter>,
+    vm_runs_skipped: Arc<Counter>,
+    rows_extracted: Arc<Counter>,
+    skip_ratio: Arc<Gauge>,
+    matrix_fill_rate: Arc<Gauge>,
+}
+
+fn metrics() -> &'static ExtractMetrics {
+    static METRICS: OnceLock<ExtractMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let telemetry = psigene_telemetry::global();
+        ExtractMetrics {
+            regex_evals: telemetry.counter("features.regex_evals"),
+            prefilter_candidates: telemetry.counter("features.prefilter_candidates"),
+            vm_runs_skipped: telemetry.counter("features.vm_runs_skipped"),
+            rows_extracted: telemetry.counter("features.rows_extracted"),
+            skip_ratio: telemetry.gauge("features.vm_skip_ratio"),
+            matrix_fill_rate: telemetry.gauge("features.matrix_fill_rate"),
+        }
+    })
+}
+
+/// Accounts extraction work in the global registry:
+/// `features.regex_evals` counts VM invocations that *actually
+/// happened* (not `rows × features` — the prescan skips most of
+/// those), with the skipped complement in `features.vm_runs_skipped`
+/// and the running skip fraction in `features.vm_skip_ratio`.
+fn record_stats(stats: &ExtractStats, rows: u64) {
+    let m = metrics();
+    m.regex_evals.add(stats.vm_runs);
+    m.prefilter_candidates.add(stats.prefilter_candidates);
+    m.vm_runs_skipped.add(stats.vm_runs_skipped);
+    m.rows_extracted.add(rows);
+    m.skip_ratio.set(stats.skip_ratio());
+}
+
+thread_local! {
+    /// Per-thread candidate-bitset scratch; `count_into` is the only
+    /// user, so extraction never allocates the bitset per payload.
+    static SCRATCH: RefCell<CandidateSet> = RefCell::new(CandidateSet::new(0));
+}
+
+/// Runs every due feature over the already-normalized `norm`,
+/// emitting `(feature id, count)` in ascending id order (including
+/// zero counts for candidates that the VM then rejects), and returns
+/// what ran versus what the prescan skipped.
+fn count_into(set: &FeatureSet, norm: &[u8], mut emit: impl FnMut(usize, usize)) -> ExtractStats {
+    let features = set.features();
+    if !set.prescan_enabled() {
+        // Forced always-run path: one VM run (behind its private
+        // prefilter) per feature — the equivalence oracle.
+        for f in features {
+            emit(f.id, f.count(norm));
+        }
+        return ExtractStats {
+            vm_runs: features.len() as u64,
+            ..ExtractStats::default()
+        };
+    }
+    let compiled = set.compiled();
+    SCRATCH.with(|cell| {
+        let mut bits = cell.borrow_mut();
+        let candidates = compiled.candidates_into(norm, &mut bits);
+        let mut vm_runs = 0u64;
+        for id in bits.iter() {
+            emit(id, features[id].count(norm));
+            vm_runs += 1;
+        }
+        ExtractStats {
+            vm_runs,
+            vm_runs_skipped: (compiled.prefiltered_features() - candidates) as u64,
+            prefilter_candidates: candidates as u64,
+        }
+    })
+}
 
 /// Extracts the feature vector of one payload (sparse, as
 /// `(column, count)` pairs).
 pub fn extract_row(set: &FeatureSet, payload: &[u8]) -> Vec<(usize, f64)> {
+    let (row, stats) = extract_row_uncounted(set, payload);
+    record_stats(&stats, 1);
+    row
+}
+
+fn extract_row_uncounted(set: &FeatureSet, payload: &[u8]) -> (Vec<(usize, f64)>, ExtractStats) {
     let norm = normalize(payload);
     let mut row = Vec::new();
-    for f in set.features() {
-        let c = f.count(&norm);
+    let stats = count_into(set, &norm, |id, c| {
         if c > 0 {
-            row.push((f.id, c as f64));
+            row.push((id, c as f64));
         }
-    }
-    row
+    });
+    (row, stats)
 }
 
 /// Extracts a dense `f64` vector (for detection-time scoring against
@@ -38,7 +166,9 @@ pub fn extract_dense(set: &FeatureSet, payload: &[u8]) -> Vec<f64> {
 pub fn extract_dense_into(set: &FeatureSet, payload: &[u8], out: &mut Vec<f64>) {
     let norm = normalize(payload);
     out.clear();
-    out.extend(set.features().iter().map(|f| f.count(&norm) as f64));
+    out.resize(set.len(), 0.0);
+    let stats = count_into(set, &norm, |id, c| out[id] = c as f64);
+    record_stats(&stats, 1);
 }
 
 /// Extracts the full sample×feature matrix, parallelized over
@@ -47,23 +177,41 @@ pub fn extract_matrix(set: &FeatureSet, payloads: &[&[u8]], threads: usize) -> C
     let threads = threads.max(1);
     if threads == 1 || payloads.len() < 2 * threads {
         let mut b = CsrBuilder::new(set.len());
+        let mut stats = ExtractStats::default();
         for p in payloads {
-            b.push_row(&extract_row(set, p));
+            let (row, s) = extract_row_uncounted(set, p);
+            stats.absorb(s);
+            b.push_row(&row);
         }
         let m = b.build();
-        record_matrix_telemetry(&m, set.len());
+        record_matrix_telemetry(&m, &stats);
         return m;
+    }
+    // Prime the prescan before fanning out so workers share the
+    // already-built automaton instead of racing to build their own.
+    if set.prescan_enabled() {
+        set.compiled();
     }
     // Chunk the payloads; each worker extracts its slice, results are
     // reassembled in order.
     let chunk = payloads.len().div_ceil(threads);
-    let mut results: Vec<Vec<Vec<(usize, f64)>>> = Vec::new();
+    type WorkerOut = (Vec<Vec<(usize, f64)>>, ExtractStats);
+    let mut results: Vec<WorkerOut> = Vec::new();
     crossbeam::scope(|scope| {
         let mut handles = Vec::new();
         for ch in payloads.chunks(chunk) {
-            handles.push(
-                scope.spawn(move |_| ch.iter().map(|p| extract_row(set, p)).collect::<Vec<_>>()),
-            );
+            handles.push(scope.spawn(move |_| {
+                let mut stats = ExtractStats::default();
+                let rows = ch
+                    .iter()
+                    .map(|p| {
+                        let (row, s) = extract_row_uncounted(set, p);
+                        stats.absorb(s);
+                        row
+                    })
+                    .collect::<Vec<_>>();
+                (rows, stats)
+            }));
         }
         for h in handles {
             results.push(h.join().expect("extraction worker panicked"));
@@ -71,31 +219,27 @@ pub fn extract_matrix(set: &FeatureSet, payloads: &[&[u8]], threads: usize) -> C
     })
     .expect("crossbeam scope");
     let mut b = CsrBuilder::new(set.len());
-    for part in results {
+    let mut stats = ExtractStats::default();
+    for (part, s) in results {
+        stats.absorb(s);
         for row in part {
             b.push_row(&row);
         }
     }
     let m = b.build();
-    record_matrix_telemetry(&m, set.len());
+    record_matrix_telemetry(&m, &stats);
     m
 }
 
-/// Accounts one extracted matrix in the global registry: every
-/// sample×feature cell costs one regex evaluation (`count_all`), and
-/// the fill rate is the fraction of nonzero cells.
-fn record_matrix_telemetry(m: &CsrMatrix, features: usize) {
-    let telemetry = psigene_telemetry::global();
-    telemetry
-        .counter("features.regex_evals")
-        .add((m.rows() * features) as u64);
-    telemetry
-        .counter("features.rows_extracted")
-        .add(m.rows() as u64);
+/// Accounts one extracted matrix in the global registry: actual VM
+/// invocations (not `rows × features`), the prescan skip ratio, and
+/// the fill rate as the fraction of nonzero cells.
+fn record_matrix_telemetry(m: &CsrMatrix, stats: &ExtractStats) {
+    record_stats(stats, m.rows() as u64);
     let cells = m.rows() * m.cols();
     if cells > 0 {
-        telemetry
-            .gauge("features.matrix_fill_rate")
+        metrics()
+            .matrix_fill_rate
             .set(m.nnz() as f64 / cells as f64);
     }
 }
@@ -155,6 +299,64 @@ mod tests {
             let b: Vec<_> = par.row(r).collect();
             assert_eq!(a, b, "row {r} differs");
         }
+    }
+
+    #[test]
+    fn prescan_off_path_agrees_with_prescan_on() {
+        let on = FeatureSet::full();
+        let off = on.with_prescan(false);
+        let payloads: &[&[u8]] = &[
+            b"id=-1+union+select+1,2,3--",
+            b"page=2&sort=asc&term=2012",
+            b"q=char(58),char(58)",
+            b"",
+            b"%27%20OR%201=1--",
+        ];
+        for p in payloads {
+            assert_eq!(extract_row(&on, p), extract_row(&off, p), "{p:?}");
+            assert_eq!(extract_dense(&on, p), extract_dense(&off, p), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn prescan_skips_most_vm_runs_on_benign_traffic() {
+        let set = FeatureSet::full();
+        let (_, stats) = extract_row_uncounted(&set, b"page=2&sort=asc&term=2012");
+        assert!(
+            stats.skip_ratio() > 0.5,
+            "benign skip ratio only {:.2} ({stats:?})",
+            stats.skip_ratio()
+        );
+        // The forced path reports zero skips and one run per feature.
+        let (_, naive) = extract_row_uncounted(&set.with_prescan(false), b"page=2");
+        assert_eq!(naive.vm_runs, set.len() as u64);
+        assert_eq!(naive.vm_runs_skipped, 0);
+    }
+
+    #[test]
+    fn regex_evals_counts_actual_vm_runs() {
+        let set = FeatureSet::full();
+        // Per-row invariant: runs + skips account for every feature,
+        // and benign traffic actually skips (the old accounting
+        // charged rows × features unconditionally).
+        let payloads: &[&[u8]] = &[b"page=2&sort=asc", b"q=summer+housing"];
+        let mut total = ExtractStats::default();
+        for p in payloads {
+            let (_, stats) = extract_row_uncounted(&set, p);
+            assert_eq!(stats.vm_runs + stats.vm_runs_skipped, set.len() as u64);
+            assert!(stats.vm_runs < set.len() as u64, "nothing skipped on {p:?}");
+            total.absorb(stats);
+        }
+        // The counters move by at least this matrix's work (the
+        // registry is process-wide, so concurrent tests may add more).
+        let telemetry = psigene_telemetry::global();
+        let evals_before = telemetry.counter("features.regex_evals").get();
+        let skipped_before = telemetry.counter("features.vm_runs_skipped").get();
+        extract_matrix(&set, payloads, 1);
+        let evals = telemetry.counter("features.regex_evals").get() - evals_before;
+        let skipped = telemetry.counter("features.vm_runs_skipped").get() - skipped_before;
+        assert!(evals >= total.vm_runs, "{evals} < {}", total.vm_runs);
+        assert!(skipped >= total.vm_runs_skipped);
     }
 
     #[test]

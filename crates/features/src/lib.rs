@@ -28,12 +28,14 @@
 pub mod extract;
 pub mod feature;
 pub mod fragments;
+pub mod prescan;
 pub mod refdocs;
 pub mod reserved;
 pub mod set;
 pub mod sources;
 
 pub use feature::Feature;
+pub use prescan::CompiledFeatureSet;
 pub use set::FeatureSet;
 pub use sources::FeatureSource;
 
@@ -41,6 +43,14 @@ pub use sources::FeatureSource;
 mod proptests {
     use super::*;
     use proptest::prelude::*;
+    use std::sync::OnceLock;
+
+    /// The full library, built once (compiling ~450 regexes per
+    /// proptest case would dominate the run).
+    fn full_set() -> &'static FeatureSet {
+        static SET: OnceLock<FeatureSet> = OnceLock::new();
+        SET.get_or_init(FeatureSet::full)
+    }
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
@@ -49,19 +59,55 @@ mod proptests {
         fn extraction_never_panics_on_arbitrary_bytes(
             payload in proptest::collection::vec(any::<u8>(), 0..200),
         ) {
-            let set = FeatureSet::full();
-            let row = extract::extract_row(&set, &payload);
+            let set = full_set();
+            let row = extract::extract_row(set, &payload);
             // Columns are valid and counts positive.
             prop_assert!(row.iter().all(|&(c, v)| c < set.len() && v >= 1.0));
+        }
+
+        /// Prescan soundness (the tentpole invariant): on arbitrary
+        /// byte payloads, candidate-gated extraction produces rows
+        /// *identical* to naive per-feature extraction — same columns
+        /// in the same order with the same counts, not merely the
+        /// same nonzero support.
+        #[test]
+        fn prescan_extraction_equals_naive_extraction(
+            payload in proptest::collection::vec(any::<u8>(), 0..300),
+        ) {
+            let set = full_set();
+            let row = extract::extract_row(set, &payload);
+            // Naive oracle: every feature's VM runs, no set-level
+            // prescan involved.
+            let norm = psigene_http::normalize::normalize(&payload);
+            let naive: Vec<(usize, f64)> = set
+                .features()
+                .iter()
+                .filter_map(|f| {
+                    let c = f.count(&norm);
+                    (c > 0).then_some((f.id, c as f64))
+                })
+                .collect();
+            prop_assert_eq!(&row, &naive);
+            // Dense path: identical full vectors (zeros included).
+            let dense = extract::extract_dense(set, &payload);
+            let naive_dense: Vec<f64> = set
+                .features()
+                .iter()
+                .map(|f| f.count(&norm) as f64)
+                .collect();
+            prop_assert_eq!(&dense, &naive_dense);
+            // And the forced always-run configuration agrees too.
+            let off = set.with_prescan(false);
+            prop_assert_eq!(&row, &extract::extract_row(&off, &payload));
         }
 
         #[test]
         fn dense_and_sparse_extraction_agree(
             payload in "[ -~]{0,120}",
         ) {
-            let set = FeatureSet::full();
-            let dense = extract::extract_dense(&set, payload.as_bytes());
-            let sparse = extract::extract_row(&set, payload.as_bytes());
+            let set = full_set();
+            let dense = extract::extract_dense(set, payload.as_bytes());
+            let sparse = extract::extract_row(set, payload.as_bytes());
             for (c, v) in sparse {
                 prop_assert_eq!(dense[c], v);
             }

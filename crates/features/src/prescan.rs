@@ -1,0 +1,204 @@
+//! The set-level literal prescan: one pass over the normalized
+//! payload decides which features' VMs need to run at all.
+//!
+//! pSigene's operational phase (§IV of the paper) evaluates every
+//! request against the full feature library before scoring
+//! signatures, and the overwhelming majority of requests — all
+//! benign traffic, in the paper's measurements — match almost
+//! nothing. Running each feature's own prefilter still costs one
+//! haystack traversal *per feature*; a 400-feature library scans the
+//! payload ~400 times. [`CompiledFeatureSet`] collapses those scans
+//! into one: every feature's required literals (from its
+//! [`psigene_regex::Prefilter`]) are folded into a single
+//! Aho–Corasick automaton, and a single pass produces the
+//! candidate-feature bitset. Features whose pattern yields no literal
+//! requirement go on an **always-run** list, so the candidate set is
+//! always a superset of the features that could match — soundness is
+//! preserved by construction and verified by property test in
+//! `crate::proptests`.
+
+use crate::feature::Feature;
+use psigene_regex::{CandidateSet, MultiLiteral, MultiLiteralBuilder};
+
+/// The compiled prescan for one feature set: the shared literal
+/// automaton plus the always-run complement.
+#[derive(Clone)]
+pub struct CompiledFeatureSet {
+    /// Automaton over every prefilterable feature's literals; `None`
+    /// when no feature produced a literal requirement.
+    engine: Option<MultiLiteral>,
+    /// Feature ids with no derivable literal requirement, ascending.
+    always_run: Vec<u32>,
+    /// Bitset with exactly the always-run ids pre-set; cloned into
+    /// the scan scratch so one ascending bitset walk visits both the
+    /// always-run features and the literal candidates in id order.
+    base: CandidateSet,
+    /// Number of features covered by the automaton (the population
+    /// the skip ratio is measured against).
+    prefiltered: usize,
+    /// Total features in the owning set.
+    n_features: usize,
+}
+
+impl CompiledFeatureSet {
+    /// Builds the prescan for `features` (ids must be their indices,
+    /// which [`crate::FeatureSet`] guarantees).
+    pub fn build(features: &[Feature]) -> CompiledFeatureSet {
+        let n = features.len();
+        let mut builder = MultiLiteralBuilder::new();
+        let mut always_run = Vec::new();
+        let mut base = CandidateSet::new(n);
+        let mut prefiltered = 0usize;
+        for (i, f) in features.iter().enumerate() {
+            match f.regex().prefilter() {
+                Some(pf) if !pf.literals().is_empty() => {
+                    prefiltered += 1;
+                    for lit in pf.literals() {
+                        builder.add(i as u32, lit);
+                    }
+                }
+                _ => {
+                    always_run.push(i as u32);
+                    base.insert(i);
+                }
+            }
+        }
+        let engine = if builder.is_empty() {
+            None
+        } else {
+            Some(builder.build())
+        };
+        CompiledFeatureSet {
+            engine,
+            always_run,
+            base,
+            prefiltered,
+            n_features: n,
+        }
+    }
+
+    /// Fills `bits` with the features due a VM run on `norm`: the
+    /// always-run list plus every feature with a literal occurrence.
+    /// Returns how many features the literal engine flagged (the
+    /// candidates proper, excluding the always-run list).
+    pub fn candidates_into(&self, norm: &[u8], bits: &mut CandidateSet) -> usize {
+        bits.clone_from(&self.base);
+        match &self.engine {
+            None => 0,
+            Some(e) => e.scan_into(norm, bits),
+        }
+    }
+
+    /// Feature ids that run unconditionally (no literal requirement).
+    pub fn always_run(&self) -> &[u32] {
+        &self.always_run
+    }
+
+    /// Number of features the literal engine covers (i.e. skippable).
+    pub fn prefiltered_features(&self) -> usize {
+        self.prefiltered
+    }
+
+    /// Total features in the owning set.
+    pub fn feature_count(&self) -> usize {
+        self.n_features
+    }
+
+    /// The shared literal automaton, when one exists.
+    pub fn engine(&self) -> Option<&MultiLiteral> {
+        self.engine.as_ref()
+    }
+}
+
+impl std::fmt::Debug for CompiledFeatureSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompiledFeatureSet")
+            .field("features", &self.n_features)
+            .field("prefiltered", &self.prefiltered)
+            .field("always_run", &self.always_run.len())
+            .field("engine", &self.engine)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sources::FeatureSource;
+
+    fn feat(id: usize, pat: &str) -> Feature {
+        Feature::new(id, pat, pat, FeatureSource::NidsSignatures).unwrap()
+    }
+
+    #[test]
+    fn splits_features_into_prefiltered_and_always_run() {
+        let features = vec![
+            feat(0, "select"),          // literal
+            feat(1, r"[0-9]+"),         // no literal requirement
+            feat(2, r"union\s+select"), // literal
+        ];
+        let c = CompiledFeatureSet::build(&features);
+        assert_eq!(c.always_run(), &[1]);
+        assert_eq!(c.prefiltered_features(), 2);
+        assert_eq!(c.feature_count(), 3);
+    }
+
+    #[test]
+    fn candidates_are_always_run_plus_literal_hits() {
+        let features = vec![
+            feat(0, "select"),
+            feat(1, r"[0-9]+"),
+            feat(2, "sleep"),
+            feat(3, "benchmark"),
+        ];
+        let c = CompiledFeatureSet::build(&features);
+        let mut bits = CandidateSet::new(0);
+        let hits = c.candidates_into(b"1 SELECT sleep(2)", &mut bits);
+        assert_eq!(hits, 2);
+        assert_eq!(bits.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        // A quiet payload leaves only the always-run feature.
+        let hits = c.candidates_into(b"page=2", &mut bits);
+        assert_eq!(hits, 0);
+        assert_eq!(bits.iter().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn full_library_is_mostly_prefilterable() {
+        let set = crate::FeatureSet::full();
+        let c = CompiledFeatureSet::build(set.features());
+        // The point of the prescan: the vast majority of the library
+        // must be skippable on quiet traffic.
+        assert!(
+            c.prefiltered_features() * 10 >= set.len() * 9,
+            "only {}/{} features prefilterable",
+            c.prefiltered_features(),
+            set.len()
+        );
+    }
+
+    #[test]
+    fn candidate_set_is_superset_of_matching_features() {
+        let set = crate::FeatureSet::full();
+        let c = CompiledFeatureSet::build(set.features());
+        let mut bits = CandidateSet::new(0);
+        let payloads: &[&[u8]] = &[
+            b"id=-1+union+select+1,2,concat(version(),0x3a),4--+-",
+            b"page=2&sort=asc&term=2012",
+            b"q=char(58),char(58)",
+            b"",
+        ];
+        for p in payloads {
+            c.candidates_into(p, &mut bits);
+            for f in set.features() {
+                if f.count(p) > 0 {
+                    assert!(
+                        bits.contains(f.id),
+                        "feature {} matched {:?} but was not a candidate",
+                        f.name,
+                        p
+                    );
+                }
+            }
+        }
+    }
+}

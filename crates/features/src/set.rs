@@ -3,16 +3,25 @@
 
 use crate::feature::Feature;
 use crate::fragments::SIGNATURE_FRAGMENTS;
+use crate::prescan::CompiledFeatureSet;
 use crate::refdocs::REFERENCE_PATTERNS;
 use crate::reserved::{word_boundary_pattern, MYSQL_RESERVED};
 use crate::sources::FeatureSource;
 use psigene_linalg::CsrMatrix;
+use std::sync::{Arc, OnceLock};
 
 /// An ordered collection of features; column `j` of every extracted
 /// matrix corresponds to `features()[j]`.
 #[derive(Debug, Clone)]
 pub struct FeatureSet {
     features: Vec<Feature>,
+    /// Lazily-built set-level literal prescan, shared by clones (a
+    /// clone has the same features, so the automaton is reusable).
+    compiled: OnceLock<Arc<CompiledFeatureSet>>,
+    /// When false, extraction takes the forced always-run path (one
+    /// VM run per feature, as before the prescan existed). Used by
+    /// equivalence tests and as the benchmark baseline.
+    prescan_enabled: bool,
 }
 
 impl FeatureSet {
@@ -59,7 +68,7 @@ impl FeatureSet {
             );
             id += 1;
         }
-        FeatureSet { features }
+        FeatureSet::from_feature_vec(features)
     }
 
     /// Builds a set from explicit features (renumbering ids).
@@ -72,7 +81,38 @@ impl FeatureSet {
                 f
             })
             .collect();
-        FeatureSet { features }
+        FeatureSet::from_feature_vec(features)
+    }
+
+    fn from_feature_vec(features: Vec<Feature>) -> FeatureSet {
+        FeatureSet {
+            features,
+            compiled: OnceLock::new(),
+            prescan_enabled: true,
+        }
+    }
+
+    /// The set-level literal prescan for this feature set, built on
+    /// first use and shared by clones.
+    pub fn compiled(&self) -> &CompiledFeatureSet {
+        self.compiled
+            .get_or_init(|| Arc::new(CompiledFeatureSet::build(&self.features)))
+    }
+
+    /// Whether extraction uses the set-level prescan (default) or the
+    /// forced always-run path.
+    pub fn prescan_enabled(&self) -> bool {
+        self.prescan_enabled
+    }
+
+    /// A copy of this set with the prescan toggled. With `false`,
+    /// every extraction runs every feature's own VM (with its private
+    /// prefilter) — the pre-prescan behavior, kept as the equivalence
+    /// oracle and benchmark baseline.
+    pub fn with_prescan(&self, enabled: bool) -> FeatureSet {
+        let mut set = self.clone();
+        set.prescan_enabled = enabled;
+        set
     }
 
     /// The features, in column order.

@@ -15,6 +15,10 @@
 //!   adds an equivalent `count_all()` to the Bro IDS).
 //! * A mandatory-literal prefilter skips the VM entirely for the
 //!   (very common) haystacks that cannot possibly match.
+//! * [`MultiLiteral`] lifts the prefilter to the *set* level: an
+//!   ASCII-case-folded Aho–Corasick automaton over every pattern's
+//!   required literals answers "which of these N patterns could
+//!   match?" in one haystack pass instead of N.
 //!
 //! # Example
 //!
@@ -36,6 +40,7 @@ mod ast;
 mod classes;
 mod compiler;
 mod error;
+mod multilit;
 mod parser;
 mod prefilter;
 mod program;
@@ -43,6 +48,7 @@ mod vm;
 
 pub use crate::classes::{ByteRange, ClassSet};
 pub use crate::error::{Error, ErrorKind};
+pub use crate::multilit::{CandidateSet, MultiLiteral, MultiLiteralBuilder};
 pub use crate::prefilter::Prefilter;
 pub use crate::vm::VmCache;
 

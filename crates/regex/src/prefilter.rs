@@ -45,9 +45,17 @@ impl Prefilter {
             return None;
         }
         let buckets = if lits.len() > BUCKETED_THRESHOLD {
+            // Literals are lowercased, but the haystack is not:
+            // bucket each literal under *both* cases of its first
+            // byte so the scan loop indexes with the raw haystack
+            // byte instead of case-folding every position.
             let mut b: Box<[Vec<u32>; 256]> = Box::new(std::array::from_fn(|_| Vec::new()));
             for (i, lit) in lits.iter().enumerate() {
                 b[lit[0] as usize].push(i as u32);
+                let up = lit[0].to_ascii_uppercase();
+                if up != lit[0] {
+                    b[up as usize].push(i as u32);
+                }
             }
             Some(b)
         } else {
@@ -67,7 +75,9 @@ impl Prefilter {
             Some(buckets) => {
                 for (i, &b) in hay.iter().enumerate() {
                     let rest = &hay[i..];
-                    for &li in &buckets[b.to_ascii_lowercase() as usize] {
+                    // Buckets carry both cases of each first byte, so
+                    // the raw byte indexes directly (no per-byte fold).
+                    for &li in buckets[b as usize].iter() {
                         let lit = &self.literals[li as usize];
                         if lit.len() <= rest.len() && rest[..lit.len()].eq_ignore_ascii_case(lit) {
                             return true;
@@ -92,6 +102,11 @@ impl Prefilter {
 
 /// ASCII case-insensitive substring search; `needle` must already be
 /// lowercase.
+///
+/// The hot loop skips on the first byte (both cases precomputed once,
+/// not folded per haystack byte) and confirms the second byte before
+/// paying for a full comparison — the same start-byte discipline the
+/// bucketed matcher uses.
 fn contains_ascii_ci(hay: &[u8], needle: &[u8]) -> bool {
     if needle.is_empty() {
         return true;
@@ -100,16 +115,24 @@ fn contains_ascii_ci(hay: &[u8], needle: &[u8]) -> bool {
         return false;
     }
     let first = needle[0];
-    'outer: for i in 0..=(hay.len() - needle.len()) {
-        if hay[i].to_ascii_lowercase() != first {
-            continue;
+    let first_up = first.to_ascii_uppercase();
+    let end = hay.len() - needle.len();
+    let mut i = 0;
+    while i <= end {
+        let Some(off) = hay[i..=end]
+            .iter()
+            .position(|&b| b == first || b == first_up)
+        else {
+            return false;
+        };
+        let at = i + off;
+        if needle.len() == 1
+            || (hay[at + 1].eq_ignore_ascii_case(&needle[1])
+                && hay[at + 2..at + needle.len()].eq_ignore_ascii_case(&needle[2..]))
+        {
+            return true;
         }
-        for (j, &n) in needle.iter().enumerate().skip(1) {
-            if hay[i + j].to_ascii_lowercase() != n {
-                continue 'outer;
-            }
-        }
-        return true;
+        i = at + 1;
     }
     false
 }
@@ -293,5 +316,24 @@ mod tests {
         assert!(contains_ascii_ci(b"xABCx", b"abc"));
         assert!(!contains_ascii_ci(b"ab", b"abc"));
         assert!(contains_ascii_ci(b"", b""));
+        // Single-byte needles, non-alpha first bytes, and repeated
+        // first bytes that force the skip loop to advance.
+        assert!(contains_ascii_ci(b"x=1", b"="));
+        assert!(contains_ascii_ci(b"==select", b"=select"));
+        assert!(contains_ascii_ci(b"sssSELECT", b"select"));
+        assert!(!contains_ascii_ci(b"sssSELEC", b"select"));
+        assert!(contains_ascii_ci(b"SsSeLeCt", b"select"));
+        assert!(!contains_ascii_ci(b"zzzz", b"a"));
+    }
+
+    #[test]
+    fn bucketed_matcher_handles_mixed_case_first_bytes() {
+        // > BUCKETED_THRESHOLD literals forces the bucketed path.
+        let p = pf("alpha|bravo|charly|delta|echo|foxtrot|golf|hotel|india")
+            .expect("bucketed prefilter");
+        assert!(p.maybe_matches(b"xx GOLF xx"));
+        assert!(p.maybe_matches(b"xx golf xx"));
+        assert!(p.maybe_matches(b"Hotel California"));
+        assert!(!p.maybe_matches(b"nothing relevant"));
     }
 }

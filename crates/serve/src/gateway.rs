@@ -249,9 +249,12 @@ impl Gateway {
     /// Submits a batch to a single shard, where the engine's
     /// [`evaluate_batch`](psigene_rulesets::DetectionEngine::evaluate_batch)
     /// amortizes snapshot acquisition, feature-buffer allocation and
-    /// telemetry across all its requests. Verdicts come back in
-    /// submission order. Under `Shed`, a full gateway sheds the
-    /// whole batch.
+    /// telemetry across all its requests; with a pSigene engine each
+    /// request's feature extraction is additionally gated by the
+    /// set-level literal prescan, so benign-heavy batches run only a
+    /// fraction of the feature VMs (`features.vm_runs_skipped`).
+    /// Verdicts come back in submission order. Under `Shed`, a full
+    /// gateway sheds the whole batch.
     pub fn submit_batch(&self, requests: Vec<HttpRequest>) -> BatchTicket {
         let fail_open = self.config.policy.fail_open();
         let len = requests.len();

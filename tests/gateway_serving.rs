@@ -197,6 +197,91 @@ fn hot_reload_mid_traffic_drops_and_misroutes_nothing() {
 }
 
 #[test]
+fn prescan_verdicts_match_forced_always_run_under_load_and_reload() {
+    let p = system();
+    // The oracle: the same trained system with the set-level literal
+    // prescan forced off, evaluated sequentially. Both engines share
+    // one signature set, so every verdict must be byte-identical
+    // (score compared by bit pattern) no matter which engine a hot
+    // reload lands a given request on.
+    let forced = p.with_prescan(false);
+    let requests = stream(80, 240);
+    let expected: Vec<Detection> = requests.iter().map(|r| forced.evaluate(r)).collect();
+
+    let store = SignatureStore::new(Arc::new(p.clone()) as Arc<dyn DetectionEngine>);
+    let gateway = Gateway::start(
+        Arc::clone(&store),
+        GatewayConfig {
+            shards: 4,
+            queue_capacity: 32,
+            policy: OverloadPolicy::Block,
+        },
+    );
+
+    let n_submitters = 4;
+    let rounds = 3usize;
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..n_submitters {
+            let gateway = &gateway;
+            let requests = &requests;
+            let expected = &expected;
+            handles.push(s.spawn(move || {
+                for round in 0..rounds {
+                    // Alternate single and batch submission so both
+                    // hot paths cross the reload.
+                    let idx: Vec<usize> = (t..requests.len()).step_by(n_submitters).collect();
+                    let verdicts: Vec<(usize, Verdict)> = if (t + round) % 2 == 0 {
+                        idx.iter()
+                            .map(|&i| (i, gateway.check(requests[i].clone())))
+                            .collect()
+                    } else {
+                        let batch: Vec<HttpRequest> =
+                            idx.iter().map(|&i| requests[i].clone()).collect();
+                        idx.iter()
+                            .copied()
+                            .zip(gateway.check_batch(batch))
+                            .collect()
+                    };
+                    for (i, v) in verdicts {
+                        let d = v.detection().expect("Block policy never sheds");
+                        assert!(
+                            d.flagged == expected[i].flagged
+                                && d.matched_rules == expected[i].matched_rules
+                                && d.score.to_bits() == expected[i].score.to_bits(),
+                            "request {i}: prescan gateway {d:?} differs from \
+                             forced always-run oracle {:?}",
+                            expected[i]
+                        );
+                    }
+                }
+            }));
+        }
+        // Hot reloads mid-traffic: prescan-on → forced-off → prescan-on.
+        // Equivalence means no submitter can tell which engine served it.
+        let store = &store;
+        let forced = forced.clone();
+        let p = p.clone();
+        handles.push(s.spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(store.swap(Arc::new(forced)), 2);
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(store.swap(Arc::new(p)), 3);
+        }));
+        for h in handles {
+            h.join().expect("thread");
+        }
+    });
+    assert_eq!(store.version(), 3);
+
+    let expected_total = (requests.len() * rounds) as u64;
+    let stats = gateway.shutdown();
+    assert_eq!(stats.submitted, expected_total);
+    assert_eq!(stats.served, expected_total);
+    assert_eq!(stats.shed, 0);
+}
+
+#[test]
 fn shed_policy_fires_at_the_configured_bound() {
     // A gated engine pins the single worker so the queue fills
     // deterministically.
