@@ -1,0 +1,110 @@
+//! Crawl-throughput bench: pages/sec over the simulated portals with
+//! a clean transport vs a 20 % per-attempt fault plan (the ISSUE 4
+//! resilience headline). When `PSIGENE_BENCH_JSON` names a file, the
+//! same crawls are timed wall-clock and written as a JSON record so
+//! CI keeps both the throughput and the recovery rate on a trajectory
+//! (`PSIGENE_BENCH_QUICK=1` shrinks the corpus for the CI gate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use psigene_corpus::crawler::{crawl_with_faults, CrawlResult, CrawlerConfig};
+use psigene_corpus::portal::{build_portals, PortalConfig, PortalCorpus};
+use psigene_corpus::web::FaultPlan;
+use std::collections::HashSet;
+use std::time::Instant;
+
+const BENCH_SEED: u64 = 0xc4aa_17be;
+
+fn quick() -> bool {
+    std::env::var_os("PSIGENE_BENCH_QUICK").is_some()
+}
+
+fn corpus() -> PortalCorpus {
+    build_portals(&PortalConfig {
+        samples: if quick() { 600 } else { 3000 },
+        ..PortalConfig::default()
+    })
+}
+
+fn fault_plan() -> FaultPlan {
+    FaultPlan::uniform(0.20, BENCH_SEED)
+}
+
+fn bench_crawl(c: &mut Criterion) {
+    let corpus = corpus();
+    let config = CrawlerConfig::default();
+    let mut group = c.benchmark_group("crawl_throughput");
+    group.sample_size(10);
+    for (name, plan) in [("clean", FaultPlan::none()), ("fault20", fault_plan())] {
+        group.bench_with_input(BenchmarkId::new("full_crawl", name), &plan, |b, plan| {
+            b.iter(|| {
+                std::hint::black_box(
+                    crawl_with_faults(&corpus.web, &corpus.seeds, &config, plan)
+                        .stats
+                        .pages_fetched,
+                )
+            })
+        });
+    }
+    group.finish();
+
+    if let Some(path) = std::env::var_os("PSIGENE_BENCH_JSON") {
+        write_bench_json(&path, &corpus, &config);
+    }
+}
+
+/// Wall-clock crawl timing: (pages/sec, last result).
+fn pages_per_sec(
+    corpus: &PortalCorpus,
+    config: &CrawlerConfig,
+    plan: &FaultPlan,
+    passes: usize,
+) -> (f64, CrawlResult) {
+    let mut result = crawl_with_faults(&corpus.web, &corpus.seeds, config, plan); // warmup
+    let start = Instant::now();
+    for _ in 0..passes {
+        result = crawl_with_faults(&corpus.web, &corpus.seeds, config, plan);
+    }
+    let pages = result.stats.pages_fetched * passes;
+    (pages as f64 / start.elapsed().as_secs_f64(), result)
+}
+
+/// Emits the throughput + recovery record CI tracks across PRs.
+fn write_bench_json(path: &std::ffi::OsStr, corpus: &PortalCorpus, config: &CrawlerConfig) {
+    let passes = if quick() { 3 } else { 10 };
+    let (clean_pps, clean) = pages_per_sec(corpus, config, &FaultPlan::none(), passes);
+    let (fault_pps, faulty) = pages_per_sec(corpus, config, &fault_plan(), passes);
+    let clean_set: HashSet<&str> = clean.samples.iter().map(|s| s.payload.as_str()).collect();
+    let recovered = faulty
+        .samples
+        .iter()
+        .filter(|s| clean_set.contains(s.payload.as_str()))
+        .count();
+    let recovery = recovered as f64 / clean_set.len().max(1) as f64;
+    let json = format!(
+        "{{\n  \"bench\": \"crawl\",\n  \"mode\": \"{}\",\n  \"pages\": {},\n  \
+         \"clean_pages_per_sec\": {:.1},\n  \"fault20_pages_per_sec\": {:.1},\n  \
+         \"fault20_recovery_rate\": {:.4},\n  \"fault20_retries\": {},\n  \
+         \"fault20_salvaged\": {},\n  \"fault20_dead_letters\": {}\n}}\n",
+        if quick() { "quick" } else { "full" },
+        clean.stats.pages_fetched,
+        clean_pps,
+        fault_pps,
+        recovery,
+        faulty.stats.retries,
+        faulty.stats.salvaged,
+        faulty.dead_letters.len(),
+    );
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(path, &json).expect("write PSIGENE_BENCH_JSON");
+    println!("crawl throughput record -> {}", path.to_string_lossy());
+    print!("{json}");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_crawl
+}
+criterion_main!(benches);

@@ -1,5 +1,6 @@
 //! Diagnostics recorded during a pipeline run.
 
+pub use psigene_corpus::CrawlHealth;
 use serde::{Deserialize, Serialize};
 
 /// Per-bicluster diagnostics (one row of Table VI, plus bookkeeping).
@@ -71,6 +72,10 @@ pub struct PipelineReport {
     pub clusters: Vec<ClusterInfo>,
     /// Wall-clock spent in each phase.
     pub phase_seconds: PhaseTimings,
+    /// How the crawl phase fared under its fault plan. `None` when
+    /// training skipped the crawl
+    /// ([`Psigene::train_from_datasets`](crate::Psigene::train_from_datasets)).
+    pub crawl_health: Option<CrawlHealth>,
 }
 
 impl PipelineReport {
@@ -92,6 +97,15 @@ impl PipelineReport {
             }
         }
         out
+    }
+
+    /// One-line crawl-health summary, or a note that the crawl phase
+    /// did not run.
+    pub fn render_crawl_health(&self) -> String {
+        match &self.crawl_health {
+            Some(h) => h.render(),
+            None => "crawl health: n/a (trained from provided datasets)".to_string(),
+        }
     }
 }
 

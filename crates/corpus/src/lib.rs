@@ -39,8 +39,10 @@ pub mod sqlmap;
 pub mod vulndb;
 pub mod web;
 
+pub use crawler::CrawlHealth;
 pub use dataset::{Dataset, Label, Sample, Source};
 pub use families::{AttackFamily, ObfuscationProfile};
+pub use web::FaultPlan;
 
 use psigene_http::HttpRequest;
 use std::collections::HashMap;
@@ -54,6 +56,8 @@ pub struct CrawlCorpusConfig {
     pub seed: u64,
     /// Obfuscation profile of published samples.
     pub profile: ObfuscationProfile,
+    /// Fault plan the crawl runs through (clean by default).
+    pub faults: FaultPlan,
 }
 
 impl Default for CrawlCorpusConfig {
@@ -62,6 +66,7 @@ impl Default for CrawlCorpusConfig {
             samples: 3000,
             seed: 0xc0a1_e5ce,
             profile: ObfuscationProfile::portal(),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -73,6 +78,13 @@ impl Default for CrawlCorpusConfig {
 /// back to the planted corpus (exact string match; the crawler is
 /// lossless by construction and tested to be).
 pub fn crawl_training_set(config: &CrawlCorpusConfig) -> Dataset {
+    crawl_training_set_with_health(config).0
+}
+
+/// Like [`crawl_training_set`], but also reports how the crawl phase
+/// itself fared — retries, salvage, dead letters and the fraction of
+/// published samples that made it into the training set.
+pub fn crawl_training_set_with_health(config: &CrawlCorpusConfig) -> (Dataset, CrawlHealth) {
     let corpus = portal::build_portals(&portal::PortalConfig {
         samples: config.samples,
         seed: config.seed,
@@ -83,13 +95,14 @@ pub fn crawl_training_set(config: &CrawlCorpusConfig) -> Dataset {
         .iter()
         .map(|p| (p.payload.as_str(), p.family))
         .collect();
-    let result = crawler::crawl(
+    let result = crawler::crawl_with_faults(
         &corpus.web,
         &corpus.seeds,
         &crawler::CrawlerConfig::default(),
+        &config.faults,
     );
     let mut ds = Dataset::new();
-    for s in result.samples {
+    for s in &result.samples {
         let family = match truth.get(s.payload.as_str()) {
             Some(f) => *f,
             // A payload that was mangled en route would be unlabeled;
@@ -99,10 +112,13 @@ pub fn crawl_training_set(config: &CrawlCorpusConfig) -> Dataset {
         ds.samples.push(Sample {
             request: HttpRequest::get("victim.example", "/vulnerable.php", &s.payload),
             label: Label::Attack(family),
-            source: Source::Crawled { portal: s.portal },
+            source: Source::Crawled {
+                portal: s.portal.clone(),
+            },
         });
     }
-    ds
+    let health = CrawlHealth::from_crawl(&result, ds.len(), corpus.planted.len());
+    (ds, health)
 }
 
 #[cfg(test)]

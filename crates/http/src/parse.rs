@@ -31,19 +31,34 @@ pub fn split_target(target: &str) -> (&str, &str) {
     }
 }
 
+/// Strips a `http://`/`https://` prefix, matching the scheme
+/// case-insensitively per RFC 3986 §3.1.
+fn strip_scheme(url: &str) -> Option<&str> {
+    for prefix in ["https://", "http://"] {
+        if url.len() >= prefix.len() && url[..prefix.len()].eq_ignore_ascii_case(prefix) {
+            return Some(&url[prefix.len()..]);
+        }
+    }
+    None
+}
+
 /// Parses an absolute or origin-form URL into host, path and query.
-/// Scheme and port are discarded — detection ignores them.
+/// Scheme and port are discarded — detection ignores them. The host
+/// is normalized to lowercase (host names are case-insensitive, and
+/// case-sensitive comparison would silently fence off crawls seeded
+/// with `HTTP://Portal.Example/`-style URLs).
 pub fn parse_url(url: &str) -> (String, String, String) {
-    let rest = url
-        .strip_prefix("https://")
-        .or_else(|| url.strip_prefix("http://"));
-    match rest {
+    match strip_scheme(url) {
         Some(rest) => {
             let (authority, target) = match rest.find('/') {
                 Some(i) => (&rest[..i], &rest[i..]),
                 None => (rest, "/"),
             };
-            let host = authority.split(':').next().unwrap_or("").to_string();
+            let host = authority
+                .split(':')
+                .next()
+                .unwrap_or("")
+                .to_ascii_lowercase();
             let (path, query) = split_target(target);
             (host, path.to_string(), query.to_string())
         }
@@ -119,6 +134,43 @@ mod tests {
         assert_eq!(
             parse_url("/local?x=2"),
             ("".into(), "/local".into(), "x=2".into())
+        );
+    }
+
+    #[test]
+    fn parse_url_normalizes_host_case() {
+        // Mixed-case scheme and authority must resolve to the same
+        // lowercase host as their lowercase spelling.
+        assert_eq!(
+            parse_url("HTTP://Portal.Example/path?q=1"),
+            ("portal.example".into(), "/path".into(), "q=1".into())
+        );
+        assert_eq!(parse_url("HTTP://Portal.Example/").0, "portal.example");
+        assert_eq!(
+            parse_url("http://portal.example/path?q=1").0,
+            parse_url("HtTpS://PORTAL.EXAMPLE:8443/path?q=1").0
+        );
+    }
+
+    #[test]
+    fn parse_url_authority_without_path() {
+        // Authority-only forms get the root path, in any case mix.
+        assert_eq!(
+            parse_url("HTTPS://H.EXAMPLE"),
+            ("h.example".into(), "/".into(), "".into())
+        );
+        assert_eq!(
+            parse_url("HTTP://H.Example:8080"),
+            ("h.example".into(), "/".into(), "".into())
+        );
+        // The path and query keep their case — only the host folds.
+        assert_eq!(
+            parse_url("HTTP://H.Example/CaseSensitive?Q=UPPER"),
+            (
+                "h.example".into(),
+                "/CaseSensitive".into(),
+                "Q=UPPER".into()
+            )
         );
     }
 

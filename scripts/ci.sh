@@ -33,4 +33,17 @@ PSIGENE_BENCH_QUICK=1 PSIGENE_BENCH_JSON="$PWD/results/BENCH_matching.json" \
     cargo bench -p psigene-bench --bench matching
 test -s results/BENCH_matching.json
 
+# Fault-injection integration test: fixed-seed 20%-fault crawl must
+# recover ≥99% of the fault-free sample set, dead-letter a dead portal
+# without hanging, and checkpoint/resume must be exact.
+echo "==> crawl fault-tolerance integration test"
+cargo test --release -p psigene-corpus --test crawl_fault_tolerance -q
+
+# Crawl throughput bench in quick mode: records pages/sec (clean vs
+# 20% faults) and the recovery rate so crawl regressions are visible.
+echo "==> crawl bench (quick) -> results/BENCH_crawl.json"
+PSIGENE_BENCH_QUICK=1 PSIGENE_BENCH_JSON="$PWD/results/BENCH_crawl.json" \
+    cargo bench -p psigene-bench --bench crawl
+test -s results/BENCH_crawl.json
+
 echo "CI OK"
