@@ -308,7 +308,7 @@ pub fn fig2(setup: &Setup, out_dir: &std::path::Path) -> std::io::Result<String>
     std::fs::create_dir_all(out_dir)?;
     std::fs::write(out_dir.join("fig2_heatmap.csv"), heatmap.to_csv())?;
     std::fs::write(out_dir.join("fig2_heatmap.pgm"), heatmap.to_pgm())?;
-    let cond = psigene_linalg::distance::pairwise_euclidean_sparse(&mcap);
+    let cond = psigene_linalg::distance::pairwise_euclidean_sparse(&mcap, config.threads);
     let coph = psigene_cluster::cophenetic_correlation(&result.row_dendrogram, &cond);
     let mut out = String::new();
     let _ = writeln!(
@@ -989,6 +989,96 @@ pub fn serve(system: &Psigene, setup: &Setup) -> String {
         } else {
             "FAILED"
         }
+    );
+    out
+}
+
+/// Training-throughput sweep: wall clock of `train_from_datasets`
+/// at 1/2/4/8 worker threads over the same corpora, the per-phase
+/// breakdown, and a bit-identity fingerprint across thread counts
+/// (the parallel trainer must reproduce the sequential bits exactly).
+pub fn train(setup: &Setup) -> String {
+    use std::time::Instant;
+
+    let base = setup.pipeline_config();
+    let attacks = setup.training_set();
+    let benign_ds = benign::generate(&benign::BenignConfig {
+        requests: base.benign_train,
+        sqlish_fraction: base.benign_sqlish_fraction,
+        include_novel_tail: false,
+        seed: base.seed ^ 0xbe9116,
+    });
+
+    // FNV-1a over every signature's bias and weight bits.
+    fn fingerprint(sys: &Psigene) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for s in sys.signatures() {
+            for w in std::iter::once(&s.model.bias).chain(&s.model.weights) {
+                h ^= w.to_bits();
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "TRAINING — thread sweep over train_from_datasets \
+         ({} attacks / {} benign, cluster cap {}, {} core(s) available)\n",
+        attacks.len(),
+        benign_ds.len(),
+        base.cluster_sample_cap,
+        cores
+    );
+    let _ = writeln!(
+        out,
+        "training is CPU-bound: wall-clock speedup is capped by the core \
+         count;\nthe invariant that must hold everywhere is the bit-identical \
+         fingerprint.\n"
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>10} {:>9} {:>10} {:>10} {:>9} {:>6} {:>18}",
+        "THREADS", "WALL (s)", "SPEEDUP", "EXTRACT", "BICLUSTER", "FIT", "SIGS", "FINGERPRINT"
+    );
+    let mut base_wall = 0.0f64;
+    let mut base_fp: Option<u64> = None;
+    let mut identical = true;
+    for threads in [1usize, 2, 4, 8] {
+        let config = PipelineConfig {
+            threads,
+            ..base.clone()
+        };
+        let start = Instant::now();
+        let sys = Psigene::train_from_datasets(&attacks, &benign_ds, &config);
+        let wall = start.elapsed().as_secs_f64();
+        if threads == 1 {
+            base_wall = wall;
+        }
+        let fp = fingerprint(&sys);
+        match base_fp {
+            None => base_fp = Some(fp),
+            Some(f) => identical &= f == fp,
+        }
+        let ph = &sys.report().phase_seconds;
+        let _ = writeln!(
+            out,
+            "{threads:<8} {wall:>10.2} {:>8.2}x {:>9.2}s {:>9.2}s {:>8.2}s {:>6} {fp:>18x}",
+            base_wall / wall.max(1e-9),
+            ph.extract,
+            ph.bicluster,
+            ph.train,
+            sys.signatures().len()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nbit-identical across thread counts: {}",
+        if identical { "yes" } else { "NO — BUG" }
     );
     out
 }

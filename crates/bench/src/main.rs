@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Subcommands: `table1`..`table6`, `fig2`, `fig3`, `fig4`, `exp2`,
-//! `exp3`, `exp4`, `serve`, `crawl`, `ablation`, `all`. Options: `--scale <f>` (corpus
+//! `exp3`, `exp4`, `serve`, `crawl`, `train`, `ablation`, `all`. Options: `--scale <f>` (corpus
 //! scale relative to the paper, default 0.1), `--seed <n>`,
 //! `--out <dir>` (artifact directory, default `results/`),
 //! `--telemetry <file>` (dump the global telemetry registry as JSON
@@ -116,6 +116,7 @@ fn main() {
             "exp4" => harness::exp4(system.as_ref().expect("system"), &setup),
             "serve" => harness::serve(system.as_ref().expect("system"), &setup),
             "crawl" => harness::crawl(&setup),
+            "train" => harness::train(&setup),
             "ablation" => harness::ablation(&setup),
             other => {
                 eprintln!("unknown command {other}");
@@ -141,7 +142,7 @@ fn usage() {
         "usage: repro [--scale <f>] [--seed <n>] [--out <dir>] [--telemetry <file>] \
          <command>...\n\
          commands: table1 table2 table3 table4 table5 table6 fig2 fig3 fig4 \
-         exp2 exp3 exp4 serve crawl ablation all"
+         exp2 exp3 exp4 serve crawl train ablation all"
     );
 }
 

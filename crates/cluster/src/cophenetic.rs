@@ -20,6 +20,68 @@ pub fn cophenetic_correlation(dend: &Dendrogram, original: &[f64]) -> f64 {
     pearson(original, &coph)
 }
 
+/// Streaming cophenetic correlation for callers that no longer hold
+/// the original condensed distance buffer (HAC consumes it in place).
+///
+/// The caller supplies `Σx` and `Σx²` of the original distances —
+/// folded over the buffer *before* clustering destroyed it — plus
+/// `x_of(i, j)`, which re-derives the original distance of leaf pair
+/// `i < j` (e.g. from cached row norms via the Gram identity). The
+/// dendrogram walk visits every pair exactly once, accumulating `Σy`,
+/// `Σy²` and `Σxy` without materializing either distance vector, and
+/// the correlation comes out of the moment form of Pearson's r.
+///
+/// Memory: O(n) beyond the dendrogram, versus the O(n²) copy of the
+/// condensed buffer [`cophenetic_correlation`] needs.
+pub fn cophenetic_correlation_streaming<F>(
+    dend: &Dendrogram,
+    sum_x: f64,
+    sum_xx: f64,
+    mut x_of: F,
+) -> f64
+where
+    F: FnMut(usize, usize) -> f64,
+{
+    let n = dend.n;
+    let pairs = n * (n - 1) / 2;
+    if pairs == 0 {
+        return 0.0;
+    }
+    let mut sum_y = 0.0;
+    let mut sum_yy = 0.0;
+    let mut sum_xy = 0.0;
+    // Same member-list walk as `Dendrogram::cophenetic_distances`:
+    // each merge contributes its linkage distance to every (a, b)
+    // cross pair, and every leaf pair first shares a cluster at
+    // exactly one merge.
+    let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    for m in &dend.merges {
+        let a = std::mem::take(&mut members[m.a]);
+        let b = std::mem::take(&mut members[m.b]);
+        for &p in &a {
+            for &q in &b {
+                let (i, j) = if p < q { (p, q) } else { (q, p) };
+                let x = x_of(i, j);
+                sum_y += m.distance;
+                sum_yy += m.distance * m.distance;
+                sum_xy += x * m.distance;
+            }
+        }
+        let mut merged = a;
+        merged.extend(b);
+        members.push(merged);
+    }
+    let np = pairs as f64;
+    let cov = sum_xy - sum_x * sum_y / np;
+    let var_x = sum_xx - sum_x * sum_x / np;
+    let var_y = sum_yy - sum_y * sum_y / np;
+    if var_x <= 0.0 || var_y <= 0.0 {
+        0.0
+    } else {
+        cov / (var_x.sqrt() * var_y.sqrt())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,6 +115,51 @@ mod tests {
         let dend = cluster_condensed(n, &mut work, Linkage::Average);
         let c = cophenetic_correlation(&dend, &original);
         assert!(c > 0.95, "got {c}");
+    }
+
+    #[test]
+    fn streaming_matches_buffered() {
+        // 2-D points in three loose groups.
+        let pts: [(f64, f64); 8] = [
+            (0.0, 0.0),
+            (0.5, 0.1),
+            (0.2, 0.7),
+            (6.0, 6.0),
+            (6.4, 5.8),
+            (12.0, 1.0),
+            (12.3, 0.6),
+            (11.8, 1.4),
+        ];
+        let n = pts.len();
+        let d = |i: usize, j: usize| -> f64 {
+            let (dx, dy) = (pts[i].0 - pts[j].0, pts[i].1 - pts[j].1);
+            (dx * dx + dy * dy).sqrt()
+        };
+        let mut original = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                original.push(d(i, j));
+            }
+        }
+        let (sum_x, sum_xx) = original
+            .iter()
+            .fold((0.0, 0.0), |(s, ss), &x| (s + x, ss + x * x));
+        let mut work = original.clone();
+        let dend = cluster_condensed(n, &mut work, Linkage::Average);
+        let buffered = cophenetic_correlation(&dend, &original);
+        let streaming = cophenetic_correlation_streaming(&dend, sum_x, sum_xx, d);
+        assert!(
+            (buffered - streaming).abs() < 1e-9,
+            "buffered {buffered} vs streaming {streaming}"
+        );
+    }
+
+    #[test]
+    fn streaming_of_single_point_is_zero() {
+        let mut cond: Vec<f64> = vec![];
+        let dend = cluster_condensed(1, &mut cond, Linkage::Average);
+        let c = cophenetic_correlation_streaming(&dend, 0.0, 0.0, |_, _| unreachable!());
+        assert_eq!(c, 0.0);
     }
 
     #[test]

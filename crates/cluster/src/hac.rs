@@ -9,7 +9,7 @@
 
 use crate::dendrogram::{Dendrogram, Merge};
 use crate::linkage::Linkage;
-use psigene_linalg::distance::{condensed_index, condensed_len};
+use psigene_linalg::distance::{condensed_len, condensed_row_base};
 
 /// Clusters `n` points given their condensed pairwise distances.
 ///
@@ -39,10 +39,14 @@ pub fn cluster_condensed(n: usize, condensed: &mut [f64], linkage: Linkage) -> D
     let mut raw: Vec<(usize, usize, f64)> = Vec::with_capacity(n - 1);
     let mut chain: Vec<usize> = Vec::with_capacity(n);
 
+    // Per-row base offsets let the O(n²) inner loops below index the
+    // condensed buffer with one wrapping add per candidate instead of
+    // `condensed_index`'s multiply/divide.
+    let bases: Vec<usize> = (0..n).map(|i| condensed_row_base(n, i)).collect();
     let dist = |cond: &[f64], i: usize, j: usize| -> f64 {
         debug_assert_ne!(i, j);
         let (a, b) = if i < j { (i, j) } else { (j, i) };
-        cond[condensed_index(n, a, b)]
+        cond[bases[a].wrapping_add(b)]
     };
 
     for _ in 0..(n - 1) {
@@ -91,7 +95,7 @@ pub fn cluster_condensed(n: usize, condensed: &mut [f64], linkage: Linkage) -> D
                     let dbk = dist(condensed, b, k);
                     let dn = linkage.update(dak, dbk, d_ab, na, nb);
                     let (lo, hi) = if a < k { (a, k) } else { (k, a) };
-                    condensed[condensed_index(n, lo, hi)] = dn;
+                    condensed[bases[lo].wrapping_add(hi)] = dn;
                 }
                 size[a] = na + nb;
                 active[b] = false;
@@ -142,13 +146,13 @@ fn label(n: usize, mut raw: Vec<(usize, usize, f64)>) -> Dendrogram {
 
 /// Convenience: clusters dense rows by Euclidean distance.
 pub fn cluster_rows(m: &psigene_linalg::Matrix, linkage: Linkage) -> Dendrogram {
-    let mut cond = psigene_linalg::distance::pairwise_euclidean(m);
+    let mut cond = psigene_linalg::distance::pairwise_euclidean(m, 1);
     cluster_condensed(m.rows(), &mut cond, linkage)
 }
 
 /// Convenience: clusters sparse rows by Euclidean distance.
 pub fn cluster_sparse_rows(m: &psigene_linalg::CsrMatrix, linkage: Linkage) -> Dendrogram {
-    let mut cond = psigene_linalg::distance::pairwise_euclidean_sparse(m);
+    let mut cond = psigene_linalg::distance::pairwise_euclidean_sparse(m, 1);
     cluster_condensed(m.rows(), &mut cond, linkage)
 }
 

@@ -40,7 +40,7 @@ pub mod linkage;
 pub mod validity;
 
 pub use bicluster::{bicluster as bicluster_matrix, Bicluster, BiclusterConfig, BiclusterResult};
-pub use cophenetic::cophenetic_correlation;
+pub use cophenetic::{cophenetic_correlation, cophenetic_correlation_streaming};
 pub use dendrogram::{Dendrogram, Merge};
 pub use linkage::Linkage;
 
@@ -95,7 +95,7 @@ mod proptests {
         fn cophenetic_dominates_original_for_single_linkage(m in points()) {
             // For single linkage the cophenetic distance is the
             // minimax path distance, always ≤ the direct distance.
-            let cond = psigene_linalg::distance::pairwise_euclidean(&m);
+            let cond = psigene_linalg::distance::pairwise_euclidean(&m, 1);
             let mut work = cond.clone();
             let dend = hac::cluster_condensed(m.rows(), &mut work, Linkage::Single);
             let coph = dend.cophenetic_distances();
@@ -106,7 +106,7 @@ mod proptests {
 
         #[test]
         fn cophenetic_correlation_in_range(m in points()) {
-            let cond = psigene_linalg::distance::pairwise_euclidean(&m);
+            let cond = psigene_linalg::distance::pairwise_euclidean(&m, 1);
             let mut work = cond.clone();
             let dend = hac::cluster_condensed(m.rows(), &mut work, Linkage::Average);
             let c = cophenetic_correlation(&dend, &cond);

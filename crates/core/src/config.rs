@@ -42,7 +42,10 @@ pub struct PipelineConfig {
     /// signatures (the paper evaluates 7- and 9-signature sets);
     /// `None` keeps all.
     pub max_signatures: Option<usize>,
-    /// Worker threads for feature extraction.
+    /// Worker threads for the parallel training stages: feature
+    /// extraction, pairwise distances, nearest-centroid assignment
+    /// and per-bicluster signature fitting. Results are bit-identical
+    /// for every value.
     pub threads: usize,
     /// Use binary (presence/absence) features instead of counts —
     /// the variant the paper evaluated and rejected ("this did not

@@ -11,7 +11,7 @@
 //! Clustering itself is *not* redone — matching the paper, which
 //! re-learns Θ only.
 
-use crate::pipeline::{fit_signature, row_centroid_distance, Psigene};
+use crate::pipeline::{fit_signature, row_centroid_distance_with_norm, Psigene};
 use psigene_corpus::Dataset;
 use psigene_features::extract::extract_matrix;
 
@@ -56,6 +56,14 @@ impl Psigene {
         // centroid distance — decides where a fresh sample can
         // actually teach something. Centroid distance breaks ties.
         let mut touched = vec![false; out.signatures.len()];
+        // Centroid norms are loop-invariant across samples; hoist them
+        // once instead of recomputing per (sample, signature) pair.
+        let centroid_norms: Vec<f64> = out
+            .state
+            .centroids
+            .iter()
+            .map(|c| c.iter().map(|v| v * v).sum())
+            .collect();
         for r in 0..m.rows() {
             let active: Vec<usize> = m.row(r).map(|(c, _)| c).collect();
             if active.is_empty() {
@@ -72,7 +80,12 @@ impl Psigene {
                 if overlap == 0 {
                     continue;
                 }
-                let d = row_centroid_distance(&m, r, &out.state.centroids[i]);
+                let d = row_centroid_distance_with_norm(
+                    &m,
+                    r,
+                    &out.state.centroids[i],
+                    centroid_norms[i],
+                );
                 if overlap > best_key.0 || (overlap == best_key.0 && d < best_key.1) {
                     best_key = (overlap, d);
                     best = Some(i);

@@ -6,14 +6,14 @@ use crate::config::PipelineConfig;
 use crate::report::{ClusterInfo, PipelineReport};
 use crate::signature::GeneralizedSignature;
 use psigene_cluster::{
-    bicluster::bicluster_with_dendrogram, cophenetic_correlation, hac::cluster_condensed,
+    bicluster::bicluster_with_dendrogram, cophenetic_correlation_streaming, hac::cluster_condensed,
 };
 use psigene_corpus::benign::{self, BenignConfig};
 use psigene_corpus::{crawl_training_set_with_health, CrawlCorpusConfig, Dataset};
 use psigene_features::{extract, FeatureSet};
-use psigene_learn::{train as train_logreg, TrainOptions};
-use psigene_linalg::distance::pairwise_euclidean_sparse;
-use psigene_linalg::{CsrMatrix, Matrix};
+use psigene_learn::{train_sparse, TrainOptions};
+use psigene_linalg::distance::{euclidean_from_gram, pairwise_euclidean_sparse};
+use psigene_linalg::{CsrBuilder, CsrMatrix};
 use rand::seq::index::sample as index_sample;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -108,10 +108,9 @@ impl Psigene {
         report.pruned_features = pruned.len();
         report.binary_features = pruned.binary_feature_count(&attack_m);
         report.matrix_sparsity = attack_m.sparsity();
-        let ones = (0..attack_m.rows())
-            .flat_map(|r| attack_m.row(r).collect::<Vec<_>>())
-            .filter(|&(_, v)| v == 1.0)
-            .count();
+        let ones: usize = (0..attack_m.rows())
+            .map(|r| attack_m.row(r).filter(|&(_, v)| v == 1.0).count())
+            .sum();
         report.matrix_ones_fraction =
             ones as f64 / (attack_m.rows() * attack_m.cols()).max(1) as f64;
 
@@ -140,10 +139,27 @@ impl Psigene {
         };
         report.clustered_directly = sampled_idx.len();
         let cluster_m = attack_m.select_rows(&sampled_idx);
-        let cond = pairwise_euclidean_sparse(&cluster_m);
-        let mut work = cond.clone();
-        let dend = cluster_condensed(cluster_m.rows(), &mut work, config.bicluster.linkage);
-        report.cophenetic_correlation = cophenetic_correlation(&dend, &cond);
+        let pairwise_span = psigene_telemetry::span("train.pairwise");
+        let cluster_norms = cluster_m.row_norms_sq();
+        let mut cond = pairwise_euclidean_sparse(&cluster_m, config.threads);
+        pairwise_span.finish();
+        // HAC consumes the condensed buffer in place; fold the moments
+        // of the original distances out of it first, then let the
+        // streaming cophenetic pass re-derive individual entries from
+        // the cached row norms (bit-identical via the shared Gram
+        // identity). This drops the O(n²) `cond.clone()` the buffered
+        // correlation needed, halving phase-3 peak memory.
+        let (cond_sum, cond_sum_sq) = cond
+            .iter()
+            .fold((0.0, 0.0), |(s, ss), &x| (s + x, ss + x * x));
+        let dend = cluster_condensed(cluster_m.rows(), &mut cond, config.bicluster.linkage);
+        drop(cond);
+        let cophenetic_span = psigene_telemetry::span("train.cophenetic");
+        report.cophenetic_correlation =
+            cophenetic_correlation_streaming(&dend, cond_sum, cond_sum_sq, |i, j| {
+                euclidean_from_gram(cluster_norms[i], cluster_norms[j], cluster_m.row_dot(i, j))
+            });
+        cophenetic_span.finish();
         let bic = bicluster_with_dendrogram(&cluster_m, dend, &config.bicluster);
         report.chosen_k = bic.chosen_k;
 
@@ -166,10 +182,11 @@ impl Psigene {
                 *v /= len;
             }
             // Radius: mean member-to-centroid distance, padded.
+            let c_norm_sq: f64 = c.iter().map(|v| v * v).sum();
             let mean_d: f64 = bc
                 .rows
                 .iter()
-                .map(|&r| row_centroid_distance(&cluster_m, r, &c))
+                .map(|&r| row_centroid_distance_with_norm(&cluster_m, r, &c, c_norm_sq))
                 .sum::<f64>()
                 / len;
             centroids.push(c);
@@ -188,26 +205,57 @@ impl Psigene {
             }
         }
         // Remaining rows go to the nearest centroid within its radius.
-        for (r, slot) in assigned.iter_mut().enumerate() {
-            if *slot {
-                continue;
+        // Centroid norms are hoisted out of the distance kernel and
+        // the per-row searches fan out over `config.threads` workers;
+        // each row's choice depends only on read-only state, so the
+        // parallel pass picks exactly the bits the sequential loop
+        // would, and the choices are applied in row order afterwards.
+        let assign_span = psigene_telemetry::span("train.assign");
+        let centroid_norms: Vec<f64> = centroids
+            .iter()
+            .map(|c| c.iter().map(|v| v * v).sum())
+            .collect();
+        let choose = |r: usize| -> Option<usize> {
+            if assigned[r] {
+                return None;
             }
             let mut best = None;
             let mut best_d = f64::INFINITY;
             for (ci, c) in centroids.iter().enumerate() {
-                let d = row_centroid_distance(&attack_m, r, c);
+                let d = row_centroid_distance_with_norm(&attack_m, r, c, centroid_norms[ci]);
                 if d < best_d {
                     best_d = d;
                     best = Some(ci);
                 }
             }
-            if let Some(ci) = best {
-                if best_d <= radii[ci] {
-                    members[ci].push(r);
-                    *slot = true;
+            best.filter(|&ci| best_d <= radii[ci])
+        };
+        let threads = config.threads.max(1);
+        let choices: Vec<Option<usize>> = if threads == 1 || n < 2 * threads {
+            (0..n).map(choose).collect()
+        } else {
+            let chunk = n.div_ceil(threads);
+            let mut out: Vec<Option<usize>> = vec![None; n];
+            crossbeam::scope(|scope| {
+                for (w, slice) in out.chunks_mut(chunk).enumerate() {
+                    let choose = &choose;
+                    scope.spawn(move |_| {
+                        for (k, slot) in slice.iter_mut().enumerate() {
+                            *slot = choose(w * chunk + k);
+                        }
+                    });
                 }
+            })
+            .expect("centroid assignment worker panicked");
+            out
+        };
+        for (r, choice) in choices.into_iter().enumerate() {
+            if let Some(ci) = choice {
+                members[ci].push(r);
+                assigned[r] = true;
             }
         }
+        assign_span.finish();
         report.unclustered_samples = assigned.iter().filter(|a| !**a).count();
 
         // Re-rank clusters by total size (largest = id 1, the paper's
@@ -218,11 +266,22 @@ impl Psigene {
 
         // ── Phase 4: one logistic-regression signature per
         //             non-black-hole bicluster (§II-D) ──
+        //
+        // Three passes keep the parallel trainer's output identical
+        // to the sequential one: pass 1 makes every black-hole and
+        // capacity decision in rank order, pass 2 fits the surviving
+        // biclusters concurrently (each fit's arithmetic is
+        // independent of scheduling), pass 3 assembles signatures and
+        // incremental state back in rank order.
         let train_span = psigene_telemetry::root_span("pipeline.train");
-        let mut signatures = Vec::new();
-        let mut state_centroids = Vec::new();
-        let mut state_radii = Vec::new();
-        let mut state_rows: Vec<Vec<Vec<(usize, f64)>>> = Vec::new();
+        psigene_telemetry::gauge("train.threads").set(threads as f64);
+        struct FitJob {
+            ci: usize,
+            id: usize,
+            report_idx: usize,
+            attack_rows: Vec<Vec<(usize, f64)>>,
+        }
+        let mut jobs: Vec<FitJob> = Vec::new();
         let mut produced = 0usize;
         for (rank, &ci) in order.iter().enumerate() {
             let id = rank + 1;
@@ -239,14 +298,6 @@ impl Psigene {
                 || zero_fraction > config.bicluster.black_hole_threshold
                 || cols.is_empty()
                 || rows.is_empty();
-            let mut info = ClusterInfo {
-                id,
-                samples: rows.len(),
-                features_biclustering: cols.len(),
-                features_signature: 0,
-                black_hole: is_black_hole,
-                zero_fraction,
-            };
             let at_capacity = config
                 .max_signatures
                 .map(|m| produced >= m)
@@ -256,23 +307,101 @@ impl Psigene {
                     .iter()
                     .map(|&r| attack_m.row(r).collect::<Vec<_>>())
                     .collect();
-                let sig = fit_signature(
+                jobs.push(FitJob {
+                    ci,
                     id,
-                    cols,
-                    &attack_rows,
+                    report_idx: report.clusters.len(),
+                    attack_rows,
+                });
+                produced += 1;
+            }
+            report.clusters.push(ClusterInfo {
+                id,
+                samples: rows.len(),
+                features_biclustering: cols.len(),
+                features_signature: 0,
+                black_hole: is_black_hole,
+                zero_fraction,
+            });
+        }
+
+        let fit_span = psigene_telemetry::span("train.fit");
+        let mut fitted: Vec<Option<GeneralizedSignature>> = Vec::new();
+        fitted.resize_with(jobs.len(), || None);
+        if threads == 1 || jobs.len() <= 1 {
+            for (slot, job) in fitted.iter_mut().zip(&jobs) {
+                *slot = Some(fit_signature(
+                    job.id,
+                    &cluster_cols[job.ci],
+                    &job.attack_rows,
                     &benign_m,
                     &config.train,
                     config.threshold,
-                );
-                info.features_signature = sig.effective_feature_count(0.05);
-                signatures.push(sig);
-                // Incremental-update state.
-                state_centroids.push(centroids[ci].clone());
-                state_radii.push(radii[ci]);
-                state_rows.push(attack_rows);
-                produced += 1;
+                ));
             }
-            report.clusters.push(info);
+            psigene_telemetry::histogram("train.fits_per_worker").record(jobs.len() as u64);
+        } else {
+            use std::sync::atomic::{AtomicUsize, Ordering};
+            let next = AtomicUsize::new(0);
+            let results: Vec<Vec<(usize, GeneralizedSignature)>> = crossbeam::scope(|scope| {
+                let handles: Vec<_> = (0..threads.min(jobs.len()))
+                    .map(|_| {
+                        let next = &next;
+                        let jobs = &jobs;
+                        let benign_m = &benign_m;
+                        let cluster_cols = &cluster_cols;
+                        scope.spawn(move |_| {
+                            let mut local = Vec::new();
+                            loop {
+                                let k = next.fetch_add(1, Ordering::Relaxed);
+                                if k >= jobs.len() {
+                                    break;
+                                }
+                                let job = &jobs[k];
+                                local.push((
+                                    k,
+                                    fit_signature(
+                                        job.id,
+                                        &cluster_cols[job.ci],
+                                        &job.attack_rows,
+                                        benign_m,
+                                        &config.train,
+                                        config.threshold,
+                                    ),
+                                ));
+                            }
+                            psigene_telemetry::histogram("train.fits_per_worker")
+                                .record(local.len() as u64);
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("signature fit worker panicked"))
+                    .collect()
+            })
+            .expect("signature fit scope failed");
+            for worker in results {
+                for (k, sig) in worker {
+                    fitted[k] = Some(sig);
+                }
+            }
+        }
+        fit_span.finish();
+
+        let mut signatures = Vec::new();
+        let mut state_centroids = Vec::new();
+        let mut state_radii = Vec::new();
+        let mut state_rows: Vec<Vec<Vec<(usize, f64)>>> = Vec::new();
+        for (job, sig) in jobs.into_iter().zip(fitted) {
+            let sig = sig.expect("every accepted bicluster was fitted");
+            report.clusters[job.report_idx].features_signature = sig.effective_feature_count(0.05);
+            signatures.push(sig);
+            // Incremental-update state.
+            state_centroids.push(centroids[job.ci].clone());
+            state_radii.push(radii[job.ci]);
+            state_rows.push(job.attack_rows);
         }
         report.phase_seconds.train = train_span.finish().as_secs_f64();
 
@@ -370,11 +499,17 @@ impl Psigene {
     }
 }
 
-/// Euclidean distance between a sparse row and a dense centroid.
-pub(crate) fn row_centroid_distance(m: &CsrMatrix, r: usize, centroid: &[f64]) -> f64 {
+/// Euclidean distance between a sparse row and a dense centroid, with
+/// the centroid's squared norm hoisted out for loops that test many
+/// rows against the same centroid (`c_norm_sq` must equal `Σcᵢ²`).
+pub(crate) fn row_centroid_distance_with_norm(
+    m: &CsrMatrix,
+    r: usize,
+    centroid: &[f64],
+    c_norm_sq: f64,
+) -> f64 {
     // ||x - c||² = ||c||² + Σ_nz (x_i² - 2 x_i c_i) over x's support,
     // computed without densifying x.
-    let c_norm_sq: f64 = centroid.iter().map(|v| v * v).sum();
     let mut acc = c_norm_sq;
     for (col, v) in m.row(r) {
         acc += v * v - 2.0 * v * centroid[col];
@@ -400,24 +535,42 @@ pub(crate) fn fit_signature(
     for (new, &old) in cols.iter().enumerate() {
         remap[old] = new;
     }
-    let mut x = Matrix::zeros(na + nb, d);
-    for (i, row) in attack_rows.iter().enumerate() {
+    // The design matrix stays CSR end to end — biclusters are never
+    // densified on the training path. `train_sparse` folds the same
+    // terms in the same order as the dense trainer, so the fit is
+    // bit-identical to the old densifying implementation.
+    let mut b = CsrBuilder::new(d);
+    let mut buf: Vec<(usize, f64)> = Vec::new();
+    for row in attack_rows {
+        buf.clear();
         for &(c, v) in row {
             if remap[c] != usize::MAX {
-                x.set(i, remap[c], v);
+                buf.push((remap[c], v));
             }
         }
+        b.push_row(&buf);
     }
     for r in 0..nb {
+        buf.clear();
         for (c, v) in benign_m.row(r) {
             if remap[c] != usize::MAX {
-                x.set(na + r, remap[c], v);
+                buf.push((remap[c], v));
             }
         }
+        b.push_row(&buf);
     }
+    let x = b.build();
     let mut y = vec![true; na];
     y.extend(std::iter::repeat_n(false, nb));
-    let fit = train_logreg(&x, &y, opts);
+    let fit = train_sparse(&x, &y, opts);
+    let telemetry = psigene_telemetry::global();
+    telemetry.counter("train.signature_fits").inc();
+    telemetry
+        .histogram("train.newton_iters_per_signature")
+        .record(fit.newton_iterations as u64);
+    telemetry
+        .histogram("train.pcg_iters_per_signature")
+        .record(fit.cg_iterations as u64);
     GeneralizedSignature {
         id,
         feature_indices: cols.to_vec(),
@@ -482,7 +635,9 @@ mod tests {
         b.push_dense_row(&[1.0, 0.0, 2.0]);
         let m = b.build();
         let c = vec![0.5, 1.0, 0.0];
+        let c_norm_sq: f64 = c.iter().map(|v| v * v).sum();
         let expect = ((0.5f64).powi(2) + 1.0 + 4.0).sqrt();
-        assert!((row_centroid_distance(&m, 0, &c) - expect).abs() < 1e-12);
+        let got = row_centroid_distance_with_norm(&m, 0, &c, c_norm_sq);
+        assert!((got - expect).abs() < 1e-12);
     }
 }

@@ -28,7 +28,9 @@ pub mod metrics;
 pub mod pcg;
 pub mod roc;
 
-pub use logreg::{sigmoid, train, LogisticModel, TrainOptions, TrainResult};
+pub use logreg::{
+    sigmoid, train, train_sparse, DesignMatrix, LogisticModel, TrainOptions, TrainResult,
+};
 pub use metrics::ConfusionMatrix;
 pub use roc::{RocCurve, RocPoint};
 
@@ -36,9 +38,44 @@ pub use roc::{RocCurve, RocPoint};
 mod proptests {
     use super::*;
     use proptest::prelude::*;
-    use psigene_linalg::Matrix;
+    use psigene_linalg::{CsrBuilder, Matrix};
 
     proptest! {
+        /// `train_sparse` on a CSR copy of the data must reproduce the
+        /// dense fit exactly — same weights/bias bits and the same
+        /// Newton/PCG iteration counts — because both storages fold
+        /// identical terms in identical order.
+        #[test]
+        fn sparse_fit_equals_dense_fit(
+            rows in 1usize..25,
+            cols in 1usize..8,
+            cells in proptest::collection::vec(0u8..12, 25 * 8),
+            flips in proptest::collection::vec(any::<bool>(), 25),
+        ) {
+            // Count-valued cells with ~2/3 zeros, like bicluster slices.
+            let data: Vec<f64> = cells[..rows * cols]
+                .iter()
+                .map(|&c| if c < 8 { 0.0 } else { (c - 7) as f64 })
+                .collect();
+            let dense = Matrix::from_rows(rows, cols, data);
+            let mut b = CsrBuilder::new(cols);
+            for r in 0..rows {
+                b.push_dense_row(dense.row(r));
+            }
+            let sparse = b.build();
+            let y: Vec<bool> = flips[..rows].to_vec();
+            let opts = TrainOptions::default();
+            let fd = train(&dense, &y, &opts);
+            let fs = train_sparse(&sparse, &y, &opts);
+            prop_assert_eq!(fd.model.bias.to_bits(), fs.model.bias.to_bits());
+            for (a, b) in fd.model.weights.iter().zip(&fs.model.weights) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            prop_assert_eq!(fd.newton_iterations, fs.newton_iterations);
+            prop_assert_eq!(fd.cg_iterations, fs.cg_iterations);
+            prop_assert_eq!(fd.converged, fs.converged);
+        }
+
         #[test]
         fn sigmoid_is_bounded_and_monotone(z1 in -1e6f64..1e6, z2 in -1e6f64..1e6) {
             let (a, b) = (sigmoid(z1), sigmoid(z2));

@@ -5,9 +5,18 @@
 //! a sample belongs to the signature's attack class. Training
 //! minimizes the regularized negative log-likelihood; each Newton
 //! step solves `(H + λI)·d = −g` with [`crate::pcg`].
+//!
+//! The trainer is generic over the [`DesignMatrix`] storage: the
+//! dense entry point [`train`] and the sparse one [`train_sparse`]
+//! share one Newton/PCG loop whose inner products are the storage's
+//! `matvec`/`matvec_t` plus the fused Hessian-vector product
+//! `H·v = Xᵀ(s ∘ (Xv)) + λv`. The sparse path never densifies a
+//! bicluster; it folds exactly the same terms in the same order as
+//! the dense path (zeros contribute nothing), so both produce
+//! bit-identical weights, biases and iteration counts.
 
 use crate::pcg;
-use psigene_linalg::Matrix;
+use psigene_linalg::{CsrMatrix, Matrix};
 use serde::{Deserialize, Serialize};
 
 /// The numerically-stable sigmoid.
@@ -103,12 +112,95 @@ pub struct TrainResult {
     pub final_loss: f64,
 }
 
+/// Row-major sample storage the Newton-CG trainer can consume.
+///
+/// Implementations must fold each row's terms in ascending column
+/// order so dense and sparse storages of the same data produce
+/// bit-identical products (a sparse storage only skips terms that are
+/// exactly `0·x`).
+pub trait DesignMatrix {
+    /// Number of samples.
+    fn rows(&self) -> usize;
+    /// Number of features.
+    fn cols(&self) -> usize;
+    /// `X · v` (one entry per sample).
+    fn matvec(&self, v: &[f64]) -> Vec<f64>;
+    /// `Xᵀ · y` (one entry per feature).
+    fn matvec_t(&self, y: &[f64]) -> Vec<f64>;
+    /// Adds `Σ_r s_r · x_{r,c}²` into `out[c]` for every feature `c`
+    /// (the data part of the Jacobi preconditioner diagonal).
+    fn add_weighted_col_sq(&self, s: &[f64], out: &mut [f64]);
+}
+
+impl DesignMatrix for Matrix {
+    fn rows(&self) -> usize {
+        Matrix::rows(self)
+    }
+    fn cols(&self) -> usize {
+        Matrix::cols(self)
+    }
+    fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        Matrix::matvec(self, v)
+    }
+    fn matvec_t(&self, y: &[f64]) -> Vec<f64> {
+        Matrix::matvec_t(self, y)
+    }
+    fn add_weighted_col_sq(&self, s: &[f64], out: &mut [f64]) {
+        for (r, &sr) in s.iter().enumerate() {
+            for (o, &xr) in out.iter_mut().zip(self.row(r)) {
+                *o += sr * xr * xr;
+            }
+        }
+    }
+}
+
+impl DesignMatrix for CsrMatrix {
+    fn rows(&self) -> usize {
+        CsrMatrix::rows(self)
+    }
+    fn cols(&self) -> usize {
+        CsrMatrix::cols(self)
+    }
+    fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        CsrMatrix::matvec(self, v)
+    }
+    fn matvec_t(&self, y: &[f64]) -> Vec<f64> {
+        CsrMatrix::matvec_t(self, y)
+    }
+    fn add_weighted_col_sq(&self, s: &[f64], out: &mut [f64]) {
+        for (r, &sr) in s.iter().enumerate() {
+            for (c, v) in self.row(r) {
+                out[c] += sr * v * v;
+            }
+        }
+    }
+}
+
 /// Fits a logistic model on dense rows `x` with ±labels `y`
 /// (`true` = positive class).
 ///
 /// # Panics
 /// Panics when `x.rows() != y.len()` or `x` has no rows.
 pub fn train(x: &Matrix, y: &[bool], opts: &TrainOptions) -> TrainResult {
+    train_design(x, y, opts)
+}
+
+/// Fits a logistic model on CSR rows without densifying them; the
+/// result (weights, bias, iteration counts) is bit-identical to
+/// [`train`] on the same data stored densely.
+///
+/// # Panics
+/// Panics when `x.rows() != y.len()` or `x` has no rows.
+pub fn train_sparse(x: &CsrMatrix, y: &[bool], opts: &TrainOptions) -> TrainResult {
+    train_design(x, y, opts)
+}
+
+/// The shared Newton-CG loop behind [`train`] and [`train_sparse`].
+pub fn train_design<X: DesignMatrix + ?Sized>(
+    x: &X,
+    y: &[bool],
+    opts: &TrainOptions,
+) -> TrainResult {
     assert_eq!(x.rows(), y.len(), "rows/labels mismatch");
     assert!(x.rows() > 0, "empty training set");
     let n = x.rows();
@@ -147,7 +239,7 @@ pub fn train(x: &Matrix, y: &[bool], opts: &TrainOptions) -> TrainResult {
             converged = true;
             break;
         }
-        // Hessian-vector product for v = [vb, vw]:
+        // Fused Hessian-vector product for v = [vb, vw]:
         //   H v = [ Σ sᵢ (vb + xᵢ·vw),
         //           Xᵀ(s ⊙ (vb + X vw)) + λ vw ]
         // with s = p(1−p).
@@ -171,12 +263,7 @@ pub fn train(x: &Matrix, y: &[bool], opts: &TrainOptions) -> TrainResult {
         // Jacobi preconditioner: diag(H).
         let mut diag = vec![0.0; d + 1];
         diag[0] = s.iter().sum::<f64>().max(1e-10);
-        for (r, &sr) in s.iter().enumerate() {
-            let row = x.row(r);
-            for (j, &xr) in row.iter().enumerate() {
-                diag[j + 1] += sr * xr * xr;
-            }
-        }
+        x.add_weighted_col_sq(&s, &mut diag[1..]);
         for dj in diag.iter_mut().skip(1) {
             *dj += opts.l2;
             if *dj <= 0.0 {
@@ -225,6 +312,9 @@ pub fn train(x: &Matrix, y: &[bool], opts: &TrainOptions) -> TrainResult {
     telemetry
         .counter("learn.pcg_iterations")
         .add(cg_iterations as u64);
+    telemetry
+        .histogram("learn.newton_iterations_per_solve")
+        .record(newton_iterations as u64);
     if converged {
         telemetry.counter("learn.converged_solves").inc();
     }
@@ -243,7 +333,7 @@ pub fn train(x: &Matrix, y: &[bool], opts: &TrainOptions) -> TrainResult {
 }
 
 /// Regularized negative log-likelihood (total, not mean).
-fn loss(x: &Matrix, y: &[bool], bias: f64, w: &[f64], l2: f64) -> f64 {
+fn loss<X: DesignMatrix + ?Sized>(x: &X, y: &[bool], bias: f64, w: &[f64], l2: f64) -> f64 {
     let mut z = x.matvec(w);
     for zi in &mut z {
         *zi += bias;
@@ -266,6 +356,7 @@ fn loss(x: &Matrix, y: &[bool], bias: f64, w: &[f64], l2: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use psigene_linalg::CsrBuilder;
 
     #[test]
     fn sigmoid_properties() {
@@ -312,12 +403,45 @@ mod tests {
         let x = Matrix::from_rows(200, 2, rows);
         let res = train(&x, &labels, &TrainOptions::default());
         let mut correct = 0;
-        for i in 0..200 {
-            if res.model.predict(x.row(i), 0.5) == labels[i] {
+        for (i, &label) in labels.iter().enumerate() {
+            if res.model.predict(x.row(i), 0.5) == label {
                 correct += 1;
             }
         }
         assert!(correct >= 195, "only {correct}/200 correct");
+    }
+
+    #[test]
+    fn sparse_training_is_bit_identical_to_dense() {
+        // A sparse-ish integer design matrix like the pipeline's
+        // bicluster slices: counts, many zeros.
+        let data = vec![
+            2.0, 0.0, 0.0, 1.0, //
+            0.0, 3.0, 0.0, 0.0, //
+            1.0, 0.0, 4.0, 0.0, //
+            0.0, 0.0, 0.0, 0.0, //
+            0.0, 1.0, 2.0, 3.0, //
+            5.0, 0.0, 0.0, 1.0, //
+        ];
+        let dense = Matrix::from_rows(6, 4, data);
+        let mut b = CsrBuilder::new(4);
+        for r in 0..6 {
+            b.push_dense_row(dense.row(r));
+        }
+        let sparse = b.build();
+        let y = [true, true, false, false, true, false];
+        let opts = TrainOptions::default();
+        let fd = train(&dense, &y, &opts);
+        let fs = train_sparse(&sparse, &y, &opts);
+        assert_eq!(fd.model.bias.to_bits(), fs.model.bias.to_bits());
+        assert_eq!(fd.model.weights.len(), fs.model.weights.len());
+        for (a, b) in fd.model.weights.iter().zip(&fs.model.weights) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(fd.newton_iterations, fs.newton_iterations);
+        assert_eq!(fd.cg_iterations, fs.cg_iterations);
+        assert_eq!(fd.converged, fs.converged);
+        assert_eq!(fd.final_loss.to_bits(), fs.final_loss.to_bits());
     }
 
     #[test]
@@ -388,5 +512,12 @@ mod tests {
     fn mismatched_inputs_panic() {
         let x = Matrix::zeros(3, 1);
         let _ = train(&x, &[true], &TrainOptions::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "rows/labels mismatch")]
+    fn sparse_mismatched_inputs_panic() {
+        let x = CsrBuilder::new(2).build();
+        let _ = train_sparse(&x, &[true], &TrainOptions::default());
     }
 }

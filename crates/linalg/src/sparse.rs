@@ -157,6 +157,79 @@ impl CsrMatrix {
         acc
     }
 
+    /// Dot product of rows `a` and `b` (sorted-merge over the two
+    /// rows' non-zeros; runs in O(nnz_a + nnz_b)).
+    pub fn row_dot(&self, a: usize, b: usize) -> f64 {
+        let (mut ia, ha) = (self.row_ptr[a], self.row_ptr[a + 1]);
+        let (mut ib, hb) = (self.row_ptr[b], self.row_ptr[b + 1]);
+        let mut acc = 0.0;
+        while ia < ha && ib < hb {
+            let ca = self.col_idx[ia];
+            let cb = self.col_idx[ib];
+            match ca.cmp(&cb) {
+                std::cmp::Ordering::Equal => {
+                    acc += self.values[ia] * self.values[ib];
+                    ia += 1;
+                    ib += 1;
+                }
+                std::cmp::Ordering::Less => ia += 1,
+                std::cmp::Ordering::Greater => ib += 1,
+            }
+        }
+        acc
+    }
+
+    /// Per-row squared Euclidean norms `‖row‖²`, accumulated in
+    /// storage (column) order.
+    pub fn row_norms_sq(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|r| {
+                let lo = self.row_ptr[r];
+                let hi = self.row_ptr[r + 1];
+                // Explicit +0.0 identity: `Iterator::sum` folds floats
+                // from −0.0, which an all-zero row would surface.
+                self.values[lo..hi].iter().fold(0.0, |acc, v| acc + v * v)
+            })
+            .collect()
+    }
+
+    /// Matrix–vector product `self · x`. Each row folds its non-zeros
+    /// in column order, exactly as the dense product folds the full
+    /// row — the skipped terms are all `0·xᵢ`, so the result matches
+    /// [`Matrix::matvec`] on the densified matrix bit for bit.
+    ///
+    /// # Panics
+    /// Panics when `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            // Fold from +0.0, not `sum()`'s −0.0 identity: the dense
+            // product's skipped `0·xᵢ` terms pull an empty row's
+            // accumulator up to +0.0, and we must land on the same bits.
+            .map(|r| self.row(r).fold(0.0, |acc, (c, v)| acc + v * x[c]))
+            .collect()
+    }
+
+    /// Transposed matrix–vector product `selfᵀ · y`; rows are
+    /// consumed in order so each output column accumulates in the
+    /// same order as [`Matrix::matvec_t`].
+    ///
+    /// # Panics
+    /// Panics when `y.len() != self.rows()`.
+    pub fn matvec_t(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows, "dimension mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (r, &yi) in y.iter().enumerate() {
+            if yi == 0.0 {
+                continue;
+            }
+            for (c, v) in self.row(r) {
+                out[c] += v * yi;
+            }
+        }
+        out
+    }
+
     /// Builds a new matrix keeping only the given columns, in order.
     ///
     /// # Panics
@@ -313,6 +386,36 @@ mod tests {
         let means = m.col_means();
         assert!((means[2] - 4.0 / 3.0).abs() < 1e-12);
         assert_eq!(means[0], 1.0 / 3.0);
+    }
+
+    #[test]
+    fn row_dot_and_norms_match_dense() {
+        let m = sample();
+        let d = m.to_dense();
+        for a in 0..3 {
+            for b in 0..3 {
+                let dense: f64 = (0..4).map(|c| d.get(a, c) * d.get(b, c)).sum();
+                assert_eq!(m.row_dot(a, b), dense);
+            }
+        }
+        let norms = m.row_norms_sq();
+        assert_eq!(norms, vec![5.0, 0.0, 14.0]);
+    }
+
+    #[test]
+    fn matvec_products_match_dense_bitwise() {
+        let m = sample();
+        let d = m.to_dense();
+        let x = [1.5, -2.0, 0.25, 3.0];
+        let y = [0.5, -1.0, 2.0];
+        let (sx, dx) = (m.matvec(&x), d.matvec(&x));
+        let (sy, dy) = (m.matvec_t(&y), d.matvec_t(&y));
+        for (a, b) in sx.iter().zip(&dx) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in sy.iter().zip(&dy) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -46,4 +46,18 @@ PSIGENE_BENCH_QUICK=1 PSIGENE_BENCH_JSON="$PWD/results/BENCH_crawl.json" \
     cargo bench -p psigene-bench --bench crawl
 test -s results/BENCH_crawl.json
 
+# Parallel-training determinism: signatures must be bit-identical at
+# 1/2/4 threads, and the sparse Newton-CG fit must match the dense fit
+# bit-for-bit on the same design matrix.
+echo "==> parallel training determinism integration test"
+cargo test --release -p psigene --test train_parallel -q
+
+# Training bench in quick mode: records train_from_datasets wall clock
+# at 1/2/4 threads plus the 4-thread speedup and the bit-identity
+# invariant, so training perf regressions are visible.
+echo "==> train bench (quick) -> results/BENCH_train.json"
+PSIGENE_BENCH_QUICK=1 PSIGENE_BENCH_JSON="$PWD/results/BENCH_train.json" \
+    cargo bench -p psigene-bench --bench train
+test -s results/BENCH_train.json
+
 echo "CI OK"

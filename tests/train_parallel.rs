@@ -1,0 +1,132 @@
+//! Parallel-training equivalence: `train_from_datasets` must produce
+//! bit-identical systems for every thread count, and the sparse
+//! trainer must match a dense fit exactly on real extracted features.
+
+use psigene::{PipelineConfig, Psigene};
+use psigene_corpus::{
+    benign::{self, BenignConfig},
+    sqlmap::{self, SqlmapConfig},
+    Dataset,
+};
+use psigene_features::{extract, FeatureSet};
+use psigene_learn::{train, train_sparse, TrainOptions};
+use psigene_linalg::Matrix;
+
+fn corpora() -> (Dataset, Dataset) {
+    let attacks = sqlmap::generate(&SqlmapConfig {
+        samples: 260,
+        ..SqlmapConfig::default()
+    });
+    let benign = benign::generate(&BenignConfig {
+        requests: 1000,
+        seed: 0x7a11_5eed,
+        ..BenignConfig::default()
+    });
+    (attacks, benign)
+}
+
+fn config(threads: usize) -> PipelineConfig {
+    PipelineConfig {
+        crawl_samples: 260,
+        benign_train: 1000,
+        cluster_sample_cap: 260,
+        threads,
+        ..PipelineConfig::default()
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_output_bits() {
+    let (attacks, benign) = corpora();
+    let baseline = Psigene::train_from_datasets(&attacks, &benign, &config(1));
+    for threads in [2usize, 4] {
+        let par = Psigene::train_from_datasets(&attacks, &benign, &config(threads));
+        assert_eq!(
+            baseline.signatures().len(),
+            par.signatures().len(),
+            "signature count differs at threads={threads}"
+        );
+        for (a, b) in baseline.signatures().iter().zip(par.signatures()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.feature_indices, b.feature_indices);
+            assert_eq!(a.training_samples, b.training_samples);
+            assert_eq!(
+                a.model.bias.to_bits(),
+                b.model.bias.to_bits(),
+                "bias bits differ at threads={threads} (sig {})",
+                a.id
+            );
+            assert_eq!(a.model.weights.len(), b.model.weights.len());
+            for (wa, wb) in a.model.weights.iter().zip(&b.model.weights) {
+                assert_eq!(
+                    wa.to_bits(),
+                    wb.to_bits(),
+                    "weight bits differ at threads={threads} (sig {})",
+                    a.id
+                );
+            }
+        }
+        let (ra, rb) = (baseline.report(), par.report());
+        assert_eq!(
+            ra.cophenetic_correlation.to_bits(),
+            rb.cophenetic_correlation.to_bits()
+        );
+        assert_eq!(ra.unclustered_samples, rb.unclustered_samples);
+        assert_eq!(ra.chosen_k, rb.chosen_k);
+        assert_eq!(ra.clusters.len(), rb.clusters.len());
+        for (ca, cb) in ra.clusters.iter().zip(&rb.clusters) {
+            assert_eq!(ca.id, cb.id);
+            assert_eq!(ca.samples, cb.samples);
+            assert_eq!(ca.features_biclustering, cb.features_biclustering);
+            assert_eq!(ca.features_signature, cb.features_signature);
+            assert_eq!(ca.black_hole, cb.black_hole);
+            assert_eq!(ca.zero_fraction.to_bits(), cb.zero_fraction.to_bits());
+        }
+    }
+}
+
+#[test]
+fn sparse_and_dense_fits_agree_on_extracted_features() {
+    let (attacks, benign) = corpora();
+    let set = FeatureSet::full();
+    let mut payloads: Vec<&[u8]> = attacks
+        .samples
+        .iter()
+        .take(120)
+        .map(|s| s.request.detection_payload())
+        .collect();
+    let na = payloads.len();
+    payloads.extend(
+        benign
+            .samples
+            .iter()
+            .take(200)
+            .map(|s| s.request.detection_payload()),
+    );
+    let sparse = extract::extract_matrix(&set, &payloads, 1);
+    let mut y = vec![true; na];
+    y.extend(std::iter::repeat_n(false, payloads.len() - na));
+
+    let dense_data: Vec<f64> = (0..sparse.rows())
+        .flat_map(|r| {
+            let mut full = vec![0.0; sparse.cols()];
+            for (c, v) in sparse.row(r) {
+                full[c] = v;
+            }
+            full
+        })
+        .collect();
+    let dense = Matrix::from_rows(sparse.rows(), sparse.cols(), dense_data);
+
+    let opts = TrainOptions::default();
+    let fs = train_sparse(&sparse, &y, &opts);
+    let fd = train(&dense, &y, &opts);
+    assert_eq!(fd.model.bias.to_bits(), fs.model.bias.to_bits());
+    for (a, b) in fd.model.weights.iter().zip(&fs.model.weights) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+    assert_eq!(fd.newton_iterations, fs.newton_iterations);
+    assert_eq!(fd.cg_iterations, fs.cg_iterations);
+    assert_eq!(fd.converged, fs.converged);
+    assert!(fs.final_loss.is_finite());
+}
