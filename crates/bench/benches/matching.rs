@@ -111,6 +111,22 @@ fn bench_engines(c: &mut Criterion) {
         let requests: Vec<_> = attacks.samples.iter().map(|s| s.request.clone()).collect();
         b.iter(|| std::hint::black_box(system.evaluate_batch(&requests).len()))
     });
+    // The observability pair: the same evaluate with the drift
+    // monitors feeding (per-request sketch updates behind a mutex)
+    // and, separately, with an always-on trace context recording the
+    // stage spans. The gap against `evaluate_with_telemetry` is the
+    // instrumentation overhead the <5 % budget in
+    // tests/observability.rs polices.
+    let monitored = system.with_insight(true);
+    hot.bench_function("evaluate_with_insight", |b| {
+        b.iter(|| std::hint::black_box(monitored.evaluate(attack).flagged))
+    });
+    hot.bench_function("evaluate_traced", |b| {
+        b.iter(|| {
+            let mut t = psigene_telemetry::insight::TraceContext::new(0);
+            std::hint::black_box(system.evaluate_traced(attack, &mut t).flagged)
+        })
+    });
     hot.finish();
 
     // ── One-pass multi-pattern prescan vs the per-feature baseline ──

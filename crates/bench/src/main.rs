@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Subcommands: `table1`..`table6`, `fig2`, `fig3`, `fig4`, `exp2`,
-//! `exp3`, `exp4`, `serve`, `crawl`, `train`, `ablation`, `all`. Options: `--scale <f>` (corpus
+//! `exp3`, `exp4`, `serve`, `obsv`, `crawl`, `train`, `ablation`, `all`. Options: `--scale <f>` (corpus
 //! scale relative to the paper, default 0.1), `--seed <n>`,
 //! `--out <dir>` (artifact directory, default `results/`),
 //! `--telemetry <file>` (dump the global telemetry registry as JSON
@@ -77,7 +77,7 @@ fn main() {
     let needs_system = expanded.iter().any(|c| {
         matches!(
             *c,
-            "table3" | "table5" | "table6" | "fig3" | "fig4" | "exp2" | "exp4" | "serve"
+            "table3" | "table5" | "table6" | "fig3" | "fig4" | "exp2" | "exp4" | "serve" | "obsv"
         )
     });
     let system: Option<Psigene> = if needs_system {
@@ -115,6 +115,7 @@ fn main() {
             "exp3" => harness::exp3(&setup),
             "exp4" => harness::exp4(system.as_ref().expect("system"), &setup),
             "serve" => harness::serve(system.as_ref().expect("system"), &setup),
+            "obsv" => harness::obsv(system.as_ref().expect("system"), &setup),
             "crawl" => harness::crawl(&setup),
             "train" => harness::train(&setup),
             "ablation" => harness::ablation(&setup),
@@ -142,7 +143,7 @@ fn usage() {
         "usage: repro [--scale <f>] [--seed <n>] [--out <dir>] [--telemetry <file>] \
          <command>...\n\
          commands: table1 table2 table3 table4 table5 table6 fig2 fig3 fig4 \
-         exp2 exp3 exp4 serve crawl train ablation all"
+         exp2 exp3 exp4 serve obsv crawl train ablation all"
     );
 }
 

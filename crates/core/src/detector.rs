@@ -19,10 +19,12 @@
 
 use crate::pipeline::Psigene;
 use parking_lot::RwLock;
-use psigene_features::extract::extract_dense_into;
+use psigene_features::extract::{extract_dense_into, extract_dense_into_traced};
 use psigene_http::HttpRequest;
 use psigene_rulesets::{Detection, DetectionEngine};
+use psigene_telemetry::insight::TraceContext;
 use psigene_telemetry::{Counter, Histogram};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
@@ -73,6 +75,13 @@ fn metrics() -> &'static DetectorMetrics {
     })
 }
 
+thread_local! {
+    /// Per-thread per-signature score scratch: the hot path records
+    /// every signature's probability (for the drift monitor) without
+    /// allocating per request.
+    static SCORE_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
 impl Psigene {
     /// Feature values of a request over the pruned feature set. The
     /// paper's Bro implementation runs one `count_all` per feature
@@ -104,10 +113,21 @@ impl Psigene {
     /// feature extraction and telemetry — the shared core of the
     /// single-request and batch paths.
     pub fn score_features(&self, features: &[f64]) -> Detection {
+        SCORE_SCRATCH.with(|cell| self.score_features_into(features, &mut cell.borrow_mut()))
+    }
+
+    /// Like [`Psigene::score_features`] but also writing each
+    /// signature's probability into `scores` (cleared first, one
+    /// entry per signature in [`Psigene::signatures`] order). The
+    /// drift monitor reads the per-signature scores without a second
+    /// scoring pass.
+    pub fn score_features_into(&self, features: &[f64], scores: &mut Vec<f64>) -> Detection {
+        scores.clear();
         let mut matched = Vec::new();
         let mut best = 0.0f64;
         for s in &self.signatures {
             let p = s.probability(features);
+            scores.push(p);
             if p > best {
                 best = p;
             }
@@ -120,6 +140,27 @@ impl Psigene {
             matched_rules: matched,
             score: best,
         }
+    }
+
+    /// Scores `features` and, when drift monitoring is enabled, feeds
+    /// the feature vector and per-signature probabilities to the
+    /// engine's [`EngineInsight`](crate::insight::EngineInsight) —
+    /// the shared inner step of every evaluation path.
+    fn score_and_observe(&self, features: &[f64]) -> Detection {
+        SCORE_SCRATCH.with(|cell| {
+            let mut scores = cell.borrow_mut();
+            let detection = self.score_features_into(features, &mut scores);
+            if let Some(ins) = self.insight.as_deref() {
+                ins.observe(
+                    features,
+                    self.signatures
+                        .iter()
+                        .map(|s| s.id as u32)
+                        .zip(scores.iter().copied()),
+                );
+            }
+            detection
+        })
     }
 
     /// Per-signature probabilities for a request, as `(signature id,
@@ -151,7 +192,7 @@ impl DetectionEngine for Psigene {
     fn evaluate(&self, request: &HttpRequest) -> Detection {
         let start = Instant::now();
         let f = self.features_of(request);
-        let detection = self.score_features(&f);
+        let detection = self.score_and_observe(&f);
         let m = metrics();
         m.record(&detection);
         m.latency.record_duration(start.elapsed());
@@ -166,12 +207,37 @@ impl DetectionEngine for Psigene {
             .map(|request| {
                 let start = Instant::now();
                 self.features_into(request, &mut features);
-                let detection = self.score_features(&features);
+                let detection = self.score_and_observe(&features);
                 m.record(&detection);
                 m.latency.record_duration(start.elapsed());
                 detection
             })
             .collect()
+    }
+
+    fn evaluate_traced(&self, request: &HttpRequest, trace: &mut TraceContext) -> Detection {
+        let start = Instant::now();
+        let extract = trace.begin("detector.extract");
+        let mut features = Vec::new();
+        extract_dense_into_traced(
+            &self.feature_set,
+            request.detection_payload(),
+            &mut features,
+            trace,
+        );
+        if self.binary {
+            for v in features.iter_mut() {
+                *v = if *v > 0.0 { 1.0 } else { 0.0 };
+            }
+        }
+        trace.end(extract);
+        let score = trace.begin("detector.score");
+        let detection = self.score_and_observe(&features);
+        trace.end(score);
+        let m = metrics();
+        m.record(&detection);
+        m.latency.record_duration(start.elapsed());
+        detection
     }
 
     fn rule_count(&self) -> usize {
@@ -298,6 +364,72 @@ mod tests {
             assert_eq!(a.matched_rules, b.matched_rules, "{q}");
             assert_eq!(a.score.to_bits(), b.score.to_bits(), "{q}");
         }
+    }
+
+    #[test]
+    fn insight_observation_does_not_change_verdicts() {
+        let p = trained();
+        let monitored = p.with_drift_config(psigene_telemetry::insight::DriftConfig {
+            window: 4,
+            decay: 0.5,
+            smoothing: 1e-6,
+        });
+        let queries = [
+            "id=-1+union+select+1,2,3--",
+            "page=2&sort=asc",
+            "id=1'+or+'1'='1",
+            "q=summer+housing",
+        ];
+        for q in queries.iter().cycle().take(16) {
+            let req = HttpRequest::get("v", "/x.php", q);
+            let plain = p.evaluate(&req);
+            let watched = monitored.evaluate(&req);
+            assert_eq!(plain.flagged, watched.flagged, "{q}");
+            assert_eq!(plain.matched_rules, watched.matched_rules, "{q}");
+            assert_eq!(plain.score.to_bits(), watched.score.to_bits(), "{q}");
+        }
+        let scores = monitored.drift_scores().expect("insight enabled");
+        assert!(scores.windows >= 2, "windows = {}", scores.windows);
+        assert!(scores.features_psi.unwrap().is_finite());
+        assert!(!scores.signatures.is_empty());
+        assert!(p.drift_scores().is_none(), "insight off by default");
+    }
+
+    #[test]
+    fn traced_evaluation_matches_and_builds_a_span_tree() {
+        let p = trained();
+        let req = HttpRequest::get("v", "/x.php", "id=1+union+select+null,null--");
+        let mut trace = TraceContext::new(42);
+        let traced = p.evaluate_traced(&req, &mut trace);
+        let plain = p.evaluate(&req);
+        assert_eq!(traced.flagged, plain.flagged);
+        assert_eq!(traced.matched_rules, plain.matched_rules);
+        assert_eq!(traced.score.to_bits(), plain.score.to_bits());
+        let t = trace.finish();
+        let names: Vec<&str> = t.spans.iter().map(|s| s.name).collect();
+        for expected in [
+            "detector.extract",
+            "features.normalize",
+            "features.prescan",
+            "features.vms",
+            "detector.score",
+        ] {
+            assert!(names.contains(&expected), "{names:?} missing {expected}");
+        }
+        // Extraction's sub-stages nest under detector.extract.
+        let extract_depth = t
+            .spans
+            .iter()
+            .find(|s| s.name == "detector.extract")
+            .unwrap()
+            .depth;
+        let vm_depth = t
+            .spans
+            .iter()
+            .find(|s| s.name == "features.vms")
+            .unwrap()
+            .depth;
+        assert!(vm_depth > extract_depth);
     }
 
     #[test]

@@ -54,12 +54,14 @@
 pub mod config;
 pub mod detector;
 pub mod incremental;
+pub mod insight;
 pub mod pipeline;
 pub mod report;
 pub mod signature;
 
 pub use config::PipelineConfig;
 pub use incremental::UpdateStats;
+pub use insight::{DriftScores, EngineInsight};
 pub use pipeline::Psigene;
 pub use report::{ClusterInfo, PipelineReport};
 pub use signature::GeneralizedSignature;

@@ -32,6 +32,10 @@ pub struct Psigene {
     /// Clamp detection-time feature values to 0/1 (must match how the
     /// models were trained).
     pub(crate) binary: bool,
+    /// Optional drift monitoring fed by the detection hot path
+    /// (`None` = zero observation cost). Clones share the monitor, so
+    /// a gateway's per-shard engine copies feed one set of windows.
+    pub(crate) insight: Option<std::sync::Arc<crate::insight::EngineInsight>>,
 }
 
 /// Retained training state for incremental updates.
@@ -424,6 +428,7 @@ impl Psigene {
                 train_opts: config.train.clone(),
             },
             threshold: config.threshold,
+            insight: None,
         }
     }
 
@@ -496,6 +501,53 @@ impl Psigene {
         let mut out = self.clone();
         out.feature_set = out.feature_set.with_prescan(enabled);
         out
+    }
+
+    /// A copy with drift monitoring toggled (default windowing).
+    /// Enabled, every evaluated request feeds feature-frequency and
+    /// per-signature score sketches whose PSI/KL scores export as
+    /// `drift.*` gauges; disabled, the hot path pays nothing.
+    /// Verdicts are identical either way — the monitor observes the
+    /// scoring the engine already does.
+    pub fn with_insight(&self, enabled: bool) -> Psigene {
+        if enabled {
+            self.with_drift_config(psigene_telemetry::insight::DriftConfig::default())
+        } else {
+            let mut out = self.clone();
+            out.insight = None;
+            out
+        }
+    }
+
+    /// A copy with drift monitoring enabled under explicit windowing.
+    pub fn with_drift_config(&self, config: psigene_telemetry::insight::DriftConfig) -> Psigene {
+        let mut out = self.clone();
+        out.insight = Some(std::sync::Arc::new(crate::insight::EngineInsight::new(
+            out.feature_set.len(),
+            config,
+        )));
+        out
+    }
+
+    /// The engine's drift monitor, when enabled.
+    pub fn insight(&self) -> Option<&crate::insight::EngineInsight> {
+        self.insight.as_deref()
+    }
+
+    /// Current drift scores, when monitoring is enabled and at least
+    /// one window completed.
+    pub fn drift_scores(&self) -> Option<crate::insight::DriftScores> {
+        self.insight.as_deref().map(|i| i.scores())
+    }
+
+    /// Freezes the drift monitor's current windows as the new
+    /// references — called right after promoting a retrained model so
+    /// drift is measured against the traffic it was accepted on.
+    /// No-op when monitoring is disabled.
+    pub fn rebaseline_drift(&self) {
+        if let Some(i) = self.insight.as_deref() {
+            i.rebaseline();
+        }
     }
 }
 

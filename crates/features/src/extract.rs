@@ -16,6 +16,7 @@ use crate::set::FeatureSet;
 use psigene_http::normalize::normalize;
 use psigene_linalg::{CsrBuilder, CsrMatrix};
 use psigene_regex::CandidateSet;
+use psigene_telemetry::insight::TraceContext;
 use psigene_telemetry::{Counter, Gauge};
 use std::cell::RefCell;
 use std::sync::{Arc, OnceLock};
@@ -102,13 +103,30 @@ thread_local! {
 /// emitting `(feature id, count)` in ascending id order (including
 /// zero counts for candidates that the VM then rejects), and returns
 /// what ran versus what the prescan skipped.
-fn count_into(set: &FeatureSet, norm: &[u8], mut emit: impl FnMut(usize, usize)) -> ExtractStats {
+fn count_into(set: &FeatureSet, norm: &[u8], emit: impl FnMut(usize, usize)) -> ExtractStats {
+    count_into_traced(set, norm, emit, None)
+}
+
+/// The workhorse behind [`count_into`]: identical feature dispatch,
+/// with optional per-stage spans (`features.prescan`, `features.vms`)
+/// recorded into a request-scoped trace. With `trace = None` the span
+/// bookkeeping compiles down to nothing on the hot path.
+fn count_into_traced(
+    set: &FeatureSet,
+    norm: &[u8],
+    mut emit: impl FnMut(usize, usize),
+    mut trace: Option<&mut TraceContext>,
+) -> ExtractStats {
     let features = set.features();
     if !set.prescan_enabled() {
         // Forced always-run path: one VM run (behind its private
         // prefilter) per feature — the equivalence oracle.
+        let span = trace.as_mut().map(|t| t.begin("features.vms"));
         for f in features {
             emit(f.id, f.count(norm));
+        }
+        if let (Some(t), Some(s)) = (trace.as_mut(), span) {
+            t.end(s);
         }
         return ExtractStats {
             vm_runs: features.len() as u64,
@@ -118,11 +136,19 @@ fn count_into(set: &FeatureSet, norm: &[u8], mut emit: impl FnMut(usize, usize))
     let compiled = set.compiled();
     SCRATCH.with(|cell| {
         let mut bits = cell.borrow_mut();
+        let span = trace.as_mut().map(|t| t.begin("features.prescan"));
         let candidates = compiled.candidates_into(norm, &mut bits);
+        if let (Some(t), Some(s)) = (trace.as_mut(), span) {
+            t.end(s);
+        }
+        let span = trace.as_mut().map(|t| t.begin("features.vms"));
         let mut vm_runs = 0u64;
         for id in bits.iter() {
             emit(id, features[id].count(norm));
             vm_runs += 1;
+        }
+        if let (Some(t), Some(s)) = (trace.as_mut(), span) {
+            t.end(s);
         }
         ExtractStats {
             vm_runs,
@@ -168,6 +194,26 @@ pub fn extract_dense_into(set: &FeatureSet, payload: &[u8], out: &mut Vec<f64>) 
     out.clear();
     out.resize(set.len(), 0.0);
     let stats = count_into(set, &norm, |id, c| out[id] = c as f64);
+    record_stats(&stats, 1);
+}
+
+/// Like [`extract_dense_into`] but recording per-stage spans
+/// (`features.normalize`, `features.prescan`, `features.vms`) into a
+/// request-scoped trace. Produces byte-identical output to the
+/// untraced path (pinned by unit test) — tracing observes, never
+/// alters, the extraction.
+pub fn extract_dense_into_traced(
+    set: &FeatureSet,
+    payload: &[u8],
+    out: &mut Vec<f64>,
+    trace: &mut TraceContext,
+) {
+    let span = trace.begin("features.normalize");
+    let norm = normalize(payload);
+    trace.end(span);
+    out.clear();
+    out.resize(set.len(), 0.0);
+    let stats = count_into_traced(set, &norm, |id, c| out[id] = c as f64, Some(trace));
     record_stats(&stats, 1);
 }
 
@@ -357,6 +403,35 @@ mod tests {
         let skipped = telemetry.counter("features.vm_runs_skipped").get() - skipped_before;
         assert!(evals >= total.vm_runs, "{evals} < {}", total.vm_runs);
         assert!(skipped >= total.vm_runs_skipped);
+    }
+
+    #[test]
+    fn traced_extraction_is_identical_and_records_stages() {
+        let set = FeatureSet::full();
+        for payload in [
+            b"id=-1+union+select+1,2,3--".as_slice(),
+            b"page=2&sort=asc",
+            b"",
+        ] {
+            let plain = extract_dense(&set, payload);
+            let mut traced = Vec::new();
+            let mut trace = TraceContext::new(1);
+            extract_dense_into_traced(&set, payload, &mut traced, &mut trace);
+            assert_eq!(plain, traced, "{payload:?}");
+            let t = trace.finish();
+            let names: Vec<&str> = t.spans.iter().map(|s| s.name).collect();
+            assert!(names.contains(&"features.normalize"), "{names:?}");
+            assert!(names.contains(&"features.prescan"), "{names:?}");
+            assert!(names.contains(&"features.vms"), "{names:?}");
+        }
+        // The forced always-run path skips the prescan span.
+        let off = set.with_prescan(false);
+        let mut out = Vec::new();
+        let mut trace = TraceContext::new(2);
+        extract_dense_into_traced(&off, b"id=1", &mut out, &mut trace);
+        let names: Vec<&str> = trace.finish().spans.iter().map(|s| s.name).collect();
+        assert!(!names.contains(&"features.prescan"), "{names:?}");
+        assert!(names.contains(&"features.vms"), "{names:?}");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The detection-engine abstraction every compared system implements.
 
 use psigene_http::HttpRequest;
+use psigene_insight::TraceContext;
 use serde::{Deserialize, Serialize};
 
 /// Outcome of evaluating one request.
@@ -90,6 +91,22 @@ pub trait DetectionEngine: Send + Sync {
         requests.iter().map(|r| self.evaluate(r)).collect()
     }
 
+    /// Evaluates one request while recording stage timings into a
+    /// request-scoped trace (the gateway calls this for sampled
+    /// requests; see `psigene_insight::Tracer`).
+    ///
+    /// The default wraps [`DetectionEngine::evaluate`] in a single
+    /// `engine.evaluate` span; engines with internal stages worth
+    /// seeing in an exemplar trace (pSigene: extraction → prescan →
+    /// feature VMs → scoring) override it with a finer span tree. An
+    /// override must return the same detection as `evaluate`.
+    fn evaluate_traced(&self, request: &HttpRequest, trace: &mut TraceContext) -> Detection {
+        let span = trace.begin("engine.evaluate");
+        let detection = self.evaluate(request);
+        trace.end(span);
+        detection
+    }
+
     /// Number of active detection rules/signatures.
     fn rule_count(&self) -> usize;
 }
@@ -134,6 +151,18 @@ mod tests {
         for (d, r) in batch.iter().zip(&reqs) {
             assert_eq!(d.flagged, engine.evaluate(r).flagged);
         }
+    }
+
+    #[test]
+    fn default_traced_evaluation_matches_and_records_a_span() {
+        let engine = AlwaysFlag;
+        let req = HttpRequest::get("h", "/", "a=1");
+        let mut trace = TraceContext::new(7);
+        let traced = engine.evaluate_traced(&req, &mut trace);
+        assert_eq!(traced.flagged, engine.evaluate(&req).flagged);
+        let t = trace.finish();
+        assert_eq!(t.spans.len(), 1);
+        assert_eq!(t.spans[0].name, "engine.evaluate");
     }
 
     #[test]

@@ -1,4 +1,6 @@
-//! Gateway sizing and overload behaviour.
+//! Gateway sizing, overload behaviour and trace sampling.
+
+use psigene_telemetry::insight::TraceConfig;
 
 /// What the gateway does when every shard queue is at its bound.
 ///
@@ -46,6 +48,11 @@ pub struct GatewayConfig {
     pub queue_capacity: usize,
     /// Behaviour when every queue is full.
     pub policy: OverloadPolicy,
+    /// Request-trace sampling: one submission in
+    /// [`sample_every`](TraceConfig::sample_every) carries a span
+    /// tree through the gateway and detector; the rest pay one hash
+    /// and no allocation. `sample_every: 0` disables tracing.
+    pub trace: TraceConfig,
 }
 
 impl Default for GatewayConfig {
@@ -57,6 +64,7 @@ impl Default for GatewayConfig {
                 .min(8),
             queue_capacity: 1024,
             policy: OverloadPolicy::Block,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -71,6 +79,7 @@ mod tests {
         assert!(c.shards >= 1);
         assert!(c.queue_capacity >= 1);
         assert_eq!(c.policy, OverloadPolicy::Block);
+        assert!(c.trace.sample_every >= 1);
     }
 
     #[test]

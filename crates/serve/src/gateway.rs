@@ -3,13 +3,18 @@
 use crate::config::{GatewayConfig, OverloadPolicy};
 use crate::store::SignatureStore;
 use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use parking_lot::Mutex;
 use psigene_http::HttpRequest;
 use psigene_rulesets::Verdict;
+use psigene_telemetry::insight::{ExemplarBuffer, FinishedTrace, TraceContext, Tracer};
 use psigene_telemetry::{Counter, Histogram};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// How many slowest-trace exemplars the gateway retains.
+const EXEMPLAR_CAPACITY: usize = 8;
 
 /// One unit of work on a shard queue.
 enum Job {
@@ -17,11 +22,17 @@ enum Job {
         request: HttpRequest,
         submitted: Instant,
         reply: Sender<Verdict>,
+        /// Span tree for the sampled minority; `None` costs nothing.
+        trace: Option<TraceContext>,
     },
     Batch {
         requests: Vec<HttpRequest>,
         submitted: Instant,
         reply: Sender<Vec<Verdict>>,
+        /// One trace for the whole batch (batches are one queue slot
+        /// and one engine call; per-request spans would multiply the
+        /// reply allocation, not the insight).
+        trace: Option<TraceContext>,
     },
 }
 
@@ -43,6 +54,7 @@ struct Metrics {
     served: Arc<Counter>,
     shed: Arc<Counter>,
     batches: Arc<Counter>,
+    traces: Arc<Counter>,
     latency: Arc<Histogram>,
     local_submitted: AtomicU64,
     local_served: AtomicU64,
@@ -57,6 +69,7 @@ impl Metrics {
             served: telemetry.counter("serve.served"),
             shed: telemetry.counter("serve.shed"),
             batches: telemetry.counter("serve.batches"),
+            traces: telemetry.counter("serve.traces"),
             latency: telemetry.histogram("serve.latency_ns"),
             local_submitted: AtomicU64::new(0),
             local_served: AtomicU64::new(0),
@@ -123,6 +136,11 @@ pub struct Gateway {
     workers: Vec<JoinHandle<()>>,
     next: AtomicUsize,
     metrics: Arc<Metrics>,
+    tracer: Tracer,
+    /// Monotonically increasing request id: the deterministic sampling
+    /// key and the id printed on exemplar traces.
+    request_ids: AtomicU64,
+    exemplars: Arc<Mutex<ExemplarBuffer>>,
 }
 
 /// Pending verdict for one submitted request.
@@ -181,6 +199,7 @@ impl Gateway {
         let capacity = config.queue_capacity.max(1);
         let metrics = Arc::new(Metrics::new());
         let telemetry = psigene_telemetry::global();
+        let exemplars = Arc::new(Mutex::new(ExemplarBuffer::new(EXEMPLAR_CAPACITY)));
         let mut shards = Vec::with_capacity(nshards);
         let mut workers = Vec::with_capacity(nshards);
         for i in 0..nshards {
@@ -190,21 +209,33 @@ impl Gateway {
             let worker_store = Arc::clone(&store);
             let worker_metrics = Arc::clone(&metrics);
             let worker_depth = Arc::clone(&depth);
+            let worker_exemplars = Arc::clone(&exemplars);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("psigene-serve-{i}"))
-                    .spawn(move || worker_loop(rx, worker_store, worker_metrics, worker_depth))
+                    .spawn(move || {
+                        worker_loop(
+                            rx,
+                            worker_store,
+                            worker_metrics,
+                            worker_depth,
+                            worker_exemplars,
+                        )
+                    })
                     .expect("spawn gateway worker"),
             );
             shards.push(Shard { tx, depth });
         }
         Gateway {
             store,
+            tracer: Tracer::new(config.trace),
             config,
             shards,
             workers,
             next: AtomicUsize::new(0),
             metrics,
+            request_ids: AtomicU64::new(0),
+            exemplars,
         }
     }
 
@@ -225,10 +256,15 @@ impl Gateway {
     pub fn submit(&self, request: HttpRequest) -> Ticket {
         let fail_open = self.config.policy.fail_open();
         let (reply_tx, reply_rx) = channel::bounded::<Verdict>(1);
+        let mut trace = self.start_trace();
+        if let Some(t) = trace.as_mut() {
+            t.begin("gateway.queue");
+        }
         let job = Job::One {
             request,
             submitted: Instant::now(),
             reply: reply_tx,
+            trace,
         };
         match self.dispatch(job) {
             Ok(()) => Ticket {
@@ -265,10 +301,15 @@ impl Gateway {
             };
         }
         let (reply_tx, reply_rx) = channel::bounded::<Vec<Verdict>>(1);
+        let mut trace = self.start_trace();
+        if let Some(t) = trace.as_mut() {
+            t.begin("gateway.queue");
+        }
         let job = Job::Batch {
             requests,
             submitted: Instant::now(),
             reply: reply_tx,
+            trace,
         };
         match self.dispatch(job) {
             Ok(()) => BatchTicket {
@@ -300,6 +341,31 @@ impl Gateway {
     /// Submits a batch and blocks for its verdicts.
     pub fn check_batch(&self, requests: Vec<HttpRequest>) -> Vec<Verdict> {
         self.submit_batch(requests).wait()
+    }
+
+    /// Allocates the next request id and, for the deterministically
+    /// sampled minority, a [`TraceContext`]. Unsampled submissions
+    /// cost one atomic increment and one hash — no allocation.
+    fn start_trace(&self) -> Option<TraceContext> {
+        let id = self.request_ids.fetch_add(1, Ordering::Relaxed);
+        self.tracer.start(id)
+    }
+
+    /// The request-trace sampler (deterministic in the configured
+    /// seed; useful for predicting which ids are sampled).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The slowest finished traces seen so far, slowest first — the
+    /// postmortem set behind a latency-SLO violation.
+    pub fn trace_exemplars(&self) -> Vec<FinishedTrace> {
+        self.exemplars
+            .lock()
+            .slowest_first()
+            .into_iter()
+            .cloned()
+            .collect()
     }
 
     /// Current per-instance serving counts.
@@ -385,6 +451,7 @@ fn worker_loop(
     store: Arc<SignatureStore>,
     metrics: Arc<Metrics>,
     depth: Arc<psigene_telemetry::Gauge>,
+    exemplars: Arc<Mutex<ExemplarBuffer>>,
 ) {
     while let Ok(job) = rx.recv() {
         depth.set(rx.len() as f64);
@@ -393,9 +460,20 @@ fn worker_loop(
                 request,
                 submitted,
                 reply,
+                trace,
             } => {
                 let engine = store.current();
-                let detection = engine.evaluate(&request);
+                let detection = match trace {
+                    None => engine.evaluate(&request),
+                    Some(mut t) => {
+                        // Dequeued: the queue span ends, evaluation
+                        // records its own stage spans.
+                        t.end_last();
+                        let detection = engine.evaluate_traced(&request, &mut t);
+                        finish_trace(t, &metrics, &exemplars);
+                        detection
+                    }
+                };
                 metrics.account_served(1, submitted.elapsed());
                 let _ = reply.send(Verdict::Evaluated(detection));
             }
@@ -403,11 +481,22 @@ fn worker_loop(
                 requests,
                 submitted,
                 reply,
+                trace,
             } => {
                 // One engine snapshot for the whole batch: a reload
                 // landing mid-batch applies from the next batch on.
                 let engine = store.current();
-                let detections = engine.evaluate_batch(&requests);
+                let detections = match trace {
+                    None => engine.evaluate_batch(&requests),
+                    Some(mut t) => {
+                        t.end_last();
+                        let span = t.begin("gateway.batch");
+                        let detections = engine.evaluate_batch(&requests);
+                        t.end(span);
+                        finish_trace(t, &metrics, &exemplars);
+                        detections
+                    }
+                };
                 metrics.batches.inc();
                 metrics.account_served(detections.len() as u64, submitted.elapsed());
                 let _ = reply.send(detections.into_iter().map(Verdict::Evaluated).collect());
@@ -415,6 +504,11 @@ fn worker_loop(
         }
     }
     depth.set(0.0);
+}
+
+fn finish_trace(trace: TraceContext, metrics: &Metrics, exemplars: &Mutex<ExemplarBuffer>) {
+    metrics.traces.inc();
+    exemplars.lock().offer(trace.finish());
 }
 
 #[cfg(test)]
@@ -463,6 +557,7 @@ mod tests {
                 shards: 2,
                 queue_capacity: 8,
                 policy: OverloadPolicy::Block,
+                ..GatewayConfig::default()
             },
         );
         assert!(gateway
@@ -483,6 +578,7 @@ mod tests {
                 shards: 1,
                 queue_capacity: 4,
                 policy: OverloadPolicy::Block,
+                ..GatewayConfig::default()
             },
         );
         let requests: Vec<HttpRequest> = (0..6)
@@ -518,6 +614,7 @@ mod tests {
                 shards: 1,
                 queue_capacity: 2,
                 policy: OverloadPolicy::Shed { fail_open: true },
+                ..GatewayConfig::default()
             },
         );
         // First job occupies the (gated) worker; the queue bound then
@@ -557,6 +654,7 @@ mod tests {
                 shards: 1,
                 queue_capacity: 1,
                 policy: OverloadPolicy::Shed { fail_open: false },
+                ..GatewayConfig::default()
             },
         );
         let tickets: Vec<Ticket> = (0..3)
@@ -577,6 +675,7 @@ mod tests {
                 shards: 2,
                 queue_capacity: 64,
                 policy: OverloadPolicy::Block,
+                ..GatewayConfig::default()
             },
         );
         let tickets: Vec<Ticket> = (0..50)
@@ -588,6 +687,65 @@ mod tests {
         for t in tickets {
             assert!(t.wait().flagged());
         }
+    }
+
+    #[test]
+    fn traced_requests_land_in_the_exemplar_buffer() {
+        use psigene_telemetry::insight::TraceConfig;
+        let gateway = Gateway::start(
+            SignatureStore::new(free_engine()),
+            GatewayConfig {
+                shards: 1,
+                queue_capacity: 16,
+                policy: OverloadPolicy::Block,
+                trace: TraceConfig {
+                    sample_every: 1,
+                    seed: 7,
+                },
+            },
+        );
+        for i in 0..5 {
+            let _ = gateway.check(HttpRequest::get("h", "/attack", &format!("i={i}")));
+        }
+        let _ = gateway.check_batch(vec![
+            HttpRequest::get("h", "/ok", "a=1"),
+            HttpRequest::get("h", "/attack", "b=2"),
+        ]);
+        let exemplars = gateway.trace_exemplars();
+        assert_eq!(exemplars.len(), 6, "5 singles + 1 batch trace");
+        // Every trace starts with the queue span; the batch trace
+        // additionally records the batch-evaluation stage.
+        assert!(exemplars
+            .iter()
+            .all(|t| t.spans.first().map(|s| s.name) == Some("gateway.queue")));
+        assert!(exemplars
+            .iter()
+            .any(|t| t.spans.iter().any(|s| s.name == "gateway.batch")));
+        // Slowest-first ordering.
+        assert!(exemplars.windows(2).all(|w| w[0].total_ns >= w[1].total_ns));
+        drop(gateway);
+    }
+
+    #[test]
+    fn sampling_off_means_no_traces() {
+        use psigene_telemetry::insight::TraceConfig;
+        let gateway = Gateway::start(
+            SignatureStore::new(free_engine()),
+            GatewayConfig {
+                shards: 1,
+                queue_capacity: 16,
+                policy: OverloadPolicy::Block,
+                trace: TraceConfig {
+                    sample_every: 0,
+                    seed: 7,
+                },
+            },
+        );
+        for i in 0..20 {
+            let _ = gateway.check(HttpRequest::get("h", "/ok", &format!("i={i}")));
+        }
+        assert!(gateway.trace_exemplars().is_empty());
+        drop(gateway);
     }
 
     #[test]

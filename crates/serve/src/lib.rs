@@ -24,12 +24,23 @@
 //!   [`evaluate_batch`](psigene_rulesets::DetectionEngine::evaluate_batch)
 //!   amortizes the engine snapshot, the feature-vector allocation and
 //!   telemetry across the batch.
+//! - Request-scoped tracing: one submission in
+//!   [`GatewayConfig::trace`]`.sample_every` (deterministically, by
+//!   hash of the request id) carries a span tree through the queue,
+//!   the detector and the feature extractor; finished traces compete
+//!   for the slowest-exemplar buffer read back through
+//!   [`Gateway::trace_exemplars`]. Unsampled requests pay one hash
+//!   and no allocation.
+//! - [`LatencySlo`] — multi-window burn-rate evaluation of a latency
+//!   SLO over the `serve.latency_ns` histogram, exported as `slo.*`
+//!   gauges.
 //!
 //! Everything is instrumented through `psigene-telemetry`: per-shard
 //! queue-depth gauges (`serve.shard.<i>.queue_depth`),
 //! submitted/served/shed counters (`serve.*`), an end-to-end latency
-//! histogram (`serve.latency_ns`), and reload accounting
-//! (`serve.reloads`, `serve.signature_version`).
+//! histogram (`serve.latency_ns`), trace counts (`serve.traces`),
+//! reload accounting (`serve.reloads`, `serve.signature_version`)
+//! and SLO burn gauges (`slo.*`).
 //!
 //! # Example
 //!
@@ -47,6 +58,7 @@
 //!         shards: 2,
 //!         queue_capacity: 64,
 //!         policy: OverloadPolicy::Shed { fail_open: true },
+//!         ..GatewayConfig::default()
 //!     },
 //! );
 //! let verdict = gateway.check(HttpRequest::get("v", "/x.php", "id=-1+union+select+1,2,3"));
@@ -60,8 +72,10 @@
 
 mod config;
 mod gateway;
+mod slo;
 mod store;
 
 pub use config::{GatewayConfig, OverloadPolicy};
 pub use gateway::{BatchTicket, Gateway, GatewayStats, Ticket};
+pub use slo::LatencySlo;
 pub use store::SignatureStore;

@@ -81,6 +81,77 @@ pub fn render_json(snap: &Snapshot) -> String {
     out
 }
 
+/// Renders a snapshot in the Prometheus text exposition format
+/// (version 0.0.4): counters and gauges as single samples, histograms
+/// as cumulative `_bucket{le="…"}` series plus `_sum` and `_count`.
+/// Dotted metric names are mangled to `snake_case` identifiers
+/// (`serve.latency_ns` → `serve_latency_ns`); ordering follows the
+/// snapshot's `BTreeMap`s, so output is deterministic.
+pub fn render_prometheus(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let n = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        out.push_str(&n);
+        out.push(' ');
+        write_prometheus_f64(&mut out, *v);
+        out.push('\n');
+    }
+    for (name, h) in &snap.histograms {
+        let n = prometheus_name(name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        for (le, cum) in h.cumulative_buckets() {
+            if le == u64::MAX {
+                continue; // folded into +Inf below
+            }
+            let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cum}");
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(out, "{n}_sum {}", h.sum());
+        let _ = writeln!(out, "{n}_count {}", h.count());
+    }
+    out
+}
+
+/// Mangles a dotted metric name into a valid Prometheus identifier:
+/// every character outside `[a-zA-Z0-9_:]` becomes `_`, and a leading
+/// digit gets a `_` prefix.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            if i == 0 && c.is_ascii_digit() {
+                out.push('_');
+            }
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Prometheus renders non-finite samples as `NaN` / `+Inf` / `-Inf`.
+fn write_prometheus_f64(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
 fn write_entries<'a, V: 'a>(
     out: &mut String,
     entries: impl Iterator<Item = (&'a String, &'a V)>,
@@ -197,6 +268,49 @@ mod tests {
             .expect("empty histogram present");
         assert_eq!(empty.get("count").and_then(|n| n.as_u64()), Some(0));
         assert!(empty.get("p50").map(|p| p.is_null()).unwrap_or(false));
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let text = render_prometheus(&sample());
+        // Dotted names are mangled, one TYPE line per metric.
+        assert!(text.contains("# TYPE crawler_pages counter"));
+        assert!(text.contains("crawler_pages 12"));
+        assert!(text.contains("# TYPE fill_rate gauge"));
+        assert!(text.contains("fill_rate 0.25"));
+        assert!(text.contains("# TYPE span_pipeline_crawl histogram"));
+        assert!(text.contains("span_pipeline_crawl_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("span_pipeline_crawl_sum 600"));
+        assert!(text.contains("span_pipeline_crawl_count 3"));
+        // Bucket series are cumulative and end at the total count.
+        let cum: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("span_pipeline_crawl_bucket{le=\"") && !l.contains("+Inf"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(!cum.is_empty());
+        assert!(cum.windows(2).all(|w| w[0] <= w[1]), "{cum:?}");
+        assert_eq!(*cum.last().unwrap(), 3);
+        // Empty histograms still expose sum/count.
+        assert!(text.contains("empty_hist_count 0"));
+        // Every line is `name{labels} value`, `name value`, or a
+        // comment — no spaces in names, no empty lines mid-document.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# ") || line.split(' ').count() == 2,
+                "bad exposition line: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn prometheus_name_mangling() {
+        let r = Registry::new();
+        r.counter("drift.features.psi").inc();
+        r.gauge("9starts.with-digit").set(f64::NAN);
+        let text = render_prometheus(&r.snapshot());
+        assert!(text.contains("drift_features_psi 1"));
+        assert!(text.contains("_9starts_with_digit NaN"));
     }
 
     #[test]

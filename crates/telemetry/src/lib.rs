@@ -13,7 +13,11 @@
 //! - [`Span`] — RAII wall-clock timers with per-thread nesting that
 //!   record into `span.<dotted.path>` histograms;
 //! - [`Registry`] — the named-instrument family behind all of the
-//!   above, with deterministic text and JSON exporters.
+//!   above, with deterministic text, JSON and Prometheus exporters;
+//! - [`insight`] — streaming drift monitors (PSI/KL over decayed
+//!   sketches), request-scoped trace trees with deterministic
+//!   sampling, and multi-window SLO burn-rate evaluation, re-exported
+//!   from `psigene-insight`.
 //!
 //! Everything is implemented on `std` (plus the workspace's
 //! `parking_lot` locks): recording on hot paths is a relaxed atomic
@@ -32,11 +36,16 @@ mod metrics;
 mod registry;
 mod span;
 
-pub use export::{render_json, render_text};
+pub use export::{render_json, render_prometheus, render_text};
 pub use histogram::{Histogram, HistogramSnapshot, N_BUCKETS};
 pub use metrics::{Counter, Gauge};
 pub use registry::{Registry, Snapshot};
 pub use span::Span;
+
+/// Streaming observability primitives (drift monitors, request-scoped
+/// trace trees, SLO burn rates) — re-exported from `psigene-insight`
+/// so downstream crates reach them through the telemetry facade.
+pub use psigene_insight as insight;
 
 use std::sync::{Arc, OnceLock};
 

@@ -109,6 +109,12 @@ impl Registry {
     pub fn export_json(&self) -> String {
         crate::export::render_json(&self.snapshot())
     }
+
+    /// Renders the current state in the Prometheus text exposition
+    /// format.
+    pub fn export_prometheus(&self) -> String {
+        crate::export::render_prometheus(&self.snapshot())
+    }
 }
 
 /// A point-in-time copy of a [`Registry`]'s instruments. Snapshots
@@ -139,6 +145,39 @@ impl Snapshot {
                 .entry(k.clone())
                 .or_insert_with(HistogramSnapshot::empty)
                 .merge(v);
+        }
+    }
+
+    /// The change since an `earlier` snapshot of the same registry:
+    /// counters and histograms subtract saturating (instruments
+    /// missing from `earlier` pass through whole), gauges keep their
+    /// current value (a gauge is a level, not a flow). Dividing the
+    /// resulting counts by the wall-clock gap between the two
+    /// snapshots yields rates.
+    pub fn delta_since(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, &v)| {
+                    (
+                        k.clone(),
+                        v.saturating_sub(earlier.counters.get(k).copied().unwrap_or(0)),
+                    )
+                })
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, v)| {
+                    let d = match earlier.histograms.get(k) {
+                        Some(e) => v.saturating_sub(e),
+                        None => v.clone(),
+                    };
+                    (k.clone(), d)
+                })
+                .collect(),
         }
     }
 }
@@ -194,6 +233,25 @@ mod tests {
         assert_eq!(merged.gauges["g"], 2.0);
         assert_eq!(merged.histograms["h"].count(), 2);
         assert_eq!(merged.histograms["h"].max(), Some(30));
+    }
+
+    #[test]
+    fn delta_since_isolates_recent_activity() {
+        let r = Registry::new();
+        r.counter("req").add(10);
+        r.gauge("level").set(1.0);
+        r.histogram("lat").record(100);
+        let before = r.snapshot();
+        r.counter("req").add(5);
+        r.counter("fresh").add(2);
+        r.gauge("level").set(3.0);
+        r.histogram("lat").record(900);
+        let delta = r.snapshot().delta_since(&before);
+        assert_eq!(delta.counters["req"], 5);
+        assert_eq!(delta.counters["fresh"], 2);
+        assert_eq!(delta.gauges["level"], 3.0);
+        assert_eq!(delta.histograms["lat"].count(), 1);
+        assert!(delta.histograms["lat"].sum() >= 900);
     }
 
     #[test]

@@ -18,7 +18,8 @@ use psigene_corpus::{
 };
 use psigene_learn::ConfusionMatrix;
 use psigene_rulesets::DetectionEngine;
-use psigene_serve::{Gateway, GatewayConfig, OverloadPolicy, SignatureStore};
+use psigene_serve::{Gateway, GatewayConfig, LatencySlo, OverloadPolicy, SignatureStore};
+use psigene_telemetry::insight::SloConfig;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -45,15 +46,22 @@ fn main() {
     let shards = std::thread::available_parallelism()
         .map(|n| n.get().min(4))
         .unwrap_or(4);
-    let store = SignatureStore::new(Arc::new(system.clone()) as Arc<dyn DetectionEngine>);
+    // Serve the drift-monitored engine: every evaluated request also
+    // feeds the feature/score sketches behind the `drift.*` gauges.
+    let serving = system.with_insight(true);
+    let store = SignatureStore::new(Arc::new(serving.clone()) as Arc<dyn DetectionEngine>);
     let gateway = Gateway::start(
         Arc::clone(&store),
         GatewayConfig {
             shards,
             queue_capacity: 256,
             policy: OverloadPolicy::Shed { fail_open: true },
+            ..GatewayConfig::default()
         },
     );
+    // Latency SLO over the serving histogram: 99 % within 5 ms.
+    let slo = LatencySlo::new(5_000_000, SloConfig::default());
+    slo.tick();
 
     // A mixed stream: mostly benign with scanner traffic woven in.
     let mut stream = Dataset::new();
@@ -152,7 +160,10 @@ fn main() {
         cm.f1()
     );
 
-    // What the gateway observed about itself while serving.
+    // What the gateway observed about itself while serving. Exemplar
+    // traces are read before shutdown consumes the gateway.
+    slo.tick();
+    let exemplars = gateway.trace_exemplars();
     let stats = gateway.shutdown();
     println!(
         "\ngateway: {} submitted / {} served / {} shed (signature version {})",
@@ -193,4 +204,51 @@ fn main() {
             println!("  signature {id:>3}: {n:>6} hits");
         }
     }
+
+    // Drift, SLO burn and the slowest sampled request — the
+    // observability readout a control plane would alert on.
+    if let Some(drift) = serving.drift_scores() {
+        let fmt = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.4}"));
+        println!(
+            "\ndrift: features PSI {} / KL {} over {} windows, max PSI {}",
+            fmt(drift.features_psi),
+            fmt(drift.features_kl),
+            drift.windows,
+            fmt(drift.max_psi())
+        );
+    }
+    let burn = slo.burn();
+    let fmt_burn = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v:.2}"));
+    println!(
+        "SLO (99% < 5 ms): fast burn {} / slow burn {} / alerting: {}",
+        fmt_burn(burn.fast),
+        fmt_burn(burn.slow),
+        slo.alerting()
+    );
+    if let Some(slowest) = exemplars.first() {
+        println!(
+            "\nslowest sampled request (1 of {} exemplars, 1-in-{} sampling):",
+            exemplars.len(),
+            gateway_trace_rate()
+        );
+        print!("{}", slowest.render_tree());
+    }
+
+    // The same registry, rendered for a Prometheus scrape (histogram
+    // bucket series elided for readability).
+    let exposition = psigene_telemetry::global().export_prometheus();
+    let mut elided = 0usize;
+    println!("\nPrometheus exposition:");
+    for line in exposition.lines() {
+        if line.contains("_bucket{") {
+            elided += 1;
+            continue;
+        }
+        println!("  {line}");
+    }
+    println!("  ... ({elided} histogram bucket series elided)");
+}
+
+fn gateway_trace_rate() -> u64 {
+    GatewayConfig::default().trace.sample_every
 }

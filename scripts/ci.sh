@@ -60,4 +60,20 @@ PSIGENE_BENCH_QUICK=1 PSIGENE_BENCH_JSON="$PWD/results/BENCH_train.json" \
     cargo bench -p psigene-bench --bench train
 test -s results/BENCH_train.json
 
+# Observability integration test: injected shift must trip the PSI
+# gauge while steady traffic stays calm, trace sampling must be
+# deterministic and allocation-free off-path, and drift
+# instrumentation must stay inside its 5% hot-path budget. Release +
+# one test thread: the overhead assertion times the detector.
+echo "==> observability integration test (drift / tracing / overhead)"
+env -u RUST_TEST_THREADS cargo test --release -p psigene-serve \
+    --test observability -q -- --test-threads=1
+
+# Observability bench in quick mode: records baseline vs drift-
+# monitored vs traced serving throughput and the overhead percentages.
+echo "==> obsv bench (quick) -> results/BENCH_obsv.json"
+PSIGENE_BENCH_QUICK=1 PSIGENE_BENCH_JSON="$PWD/results/BENCH_obsv.json" \
+    cargo bench -p psigene-bench --bench obsv
+test -s results/BENCH_obsv.json
+
 echo "CI OK"

@@ -63,6 +63,7 @@ fn concurrent_verdicts_match_sequential_evaluation() {
             shards: 4,
             queue_capacity: 64,
             policy: OverloadPolicy::Block,
+            ..GatewayConfig::default()
         },
     );
 
@@ -138,6 +139,7 @@ fn hot_reload_mid_traffic_drops_and_misroutes_nothing() {
             shards: 4,
             queue_capacity: 32,
             policy: OverloadPolicy::Block,
+            ..GatewayConfig::default()
         },
     );
 
@@ -215,6 +217,7 @@ fn prescan_verdicts_match_forced_always_run_under_load_and_reload() {
             shards: 4,
             queue_capacity: 32,
             policy: OverloadPolicy::Block,
+            ..GatewayConfig::default()
         },
     );
 
@@ -309,6 +312,7 @@ fn shed_policy_fires_at_the_configured_bound() {
             shards: 1,
             queue_capacity: capacity,
             policy: OverloadPolicy::Shed { fail_open: true },
+            ..GatewayConfig::default()
         },
     );
 
