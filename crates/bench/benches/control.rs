@@ -1,0 +1,234 @@
+//! Control-plane cost: what the continuous-learning loop pays for a
+//! background retrain, the differential replay that gates promotion,
+//! and the whole drift→promoted cycle end to end.
+//!
+//! Three measurements over one trained system:
+//!
+//! - `retrain` — [`PsigeneRetrainer::retrain`] on a full sample
+//!   buffer (incremental assignment + per-signature refit + the
+//!   benign-weight guard);
+//! - `differential_replay` — the buffered traffic evaluated pairwise
+//!   through live and shadow engines (the promotion gate);
+//! - promotion end-to-end — a real [`ControlPlane`] against a real
+//!   [`SignatureStore`], from the drift trigger firing to the shadow
+//!   installed as the live model.
+//!
+//! When `PSIGENE_BENCH_JSON` names a file the same workloads are
+//! timed wall-clock and recorded (`PSIGENE_BENCH_QUICK=1` shrinks the
+//! trained system and pass counts for the CI gate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use psigene::{PipelineConfig, Psigene};
+use psigene_corpus::benign::{self, BenignConfig};
+use psigene_corpus::sqlmap::{self, SqlmapConfig};
+use psigene_rulesets::DetectionEngine;
+use psigene_serve::control::{
+    differential_replay, ControlConfig, ControlPlane, DriftWatch, PsigeneRetrainer, Retrainer,
+    SampleBuffer, TrafficSample, VerdictSink,
+};
+use psigene_serve::SignatureStore;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn quick() -> bool {
+    std::env::var_os("PSIGENE_BENCH_QUICK").is_some()
+}
+
+/// Drift source pinned above every threshold: the promotion-latency
+/// measurement starts with the trigger already hot.
+struct AlwaysDrifting;
+impl DriftWatch for AlwaysDrifting {
+    fn max_psi(&self) -> Option<f64> {
+        Some(0.9)
+    }
+}
+
+fn trained() -> Psigene {
+    let (crawl, benign_n, cap) = if quick() {
+        (300, 1200, 300)
+    } else {
+        (1000, 6000, 600)
+    };
+    Psigene::train(&PipelineConfig {
+        crawl_samples: crawl,
+        benign_train: benign_n,
+        cluster_sample_cap: cap,
+        threads: 2,
+        ..PipelineConfig::default()
+    })
+}
+
+/// A full sample buffer's worth of labeled traffic: fresh attacks the
+/// live engine would flag plus reservoir-grade benign requests.
+fn buffered_traffic(n_attacks: usize, n_benign: usize) -> (Vec<TrafficSample>, Vec<TrafficSample>) {
+    let attacks: Vec<TrafficSample> = sqlmap::generate(&SqlmapConfig {
+        samples: n_attacks,
+        seed: 0xc0_07e1,
+        ..Default::default()
+    })
+    .samples
+    .into_iter()
+    .enumerate()
+    .map(|(i, s)| TrafficSample {
+        id: i as u64,
+        request: s.request,
+        attack: true,
+        score: 0.9,
+    })
+    .collect();
+    let benign: Vec<TrafficSample> = benign::generate(&BenignConfig {
+        requests: n_benign,
+        ..Default::default()
+    })
+    .samples
+    .into_iter()
+    .enumerate()
+    .map(|(i, s)| TrafficSample {
+        id: 100_000 + i as u64,
+        request: s.request,
+        attack: false,
+        score: 0.05,
+    })
+    .collect();
+    (attacks, benign)
+}
+
+/// Wall-clock of the fastest pass (external load only slows passes
+/// down, so the minimum is the noise-robust estimate).
+fn best_secs(passes: usize, mut run: impl FnMut()) -> f64 {
+    run(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..passes {
+        let start = Instant::now();
+        run();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// One full drift→retrain→replay→promote cycle against a real store;
+/// returns the latency from plane start to the promotion landing.
+fn promotion_latency(system: &Psigene, attacks: &[TrafficSample], benign: &[TrafficSample]) -> f64 {
+    let buffer = SampleBuffer::new(attacks.len(), benign.len().max(1), 0xbe);
+    for s in attacks.iter().chain(benign) {
+        let d = psigene_rulesets::Detection {
+            flagged: s.attack,
+            matched_rules: if s.attack { vec![1] } else { vec![] },
+            score: s.score,
+        };
+        buffer.observe(s.id, &s.request, &d);
+    }
+    let store = SignatureStore::new(Arc::new(system.clone()));
+    let retrainer = PsigeneRetrainer::new(system.clone(), 2);
+    let start = Instant::now();
+    let mut plane = ControlPlane::start(
+        Arc::clone(&buffer),
+        Arc::clone(&store) as _,
+        Arc::new(AlwaysDrifting) as _,
+        Arc::clone(&retrainer) as _,
+        ControlConfig {
+            debounce: 1,
+            poll_interval: Duration::from_millis(1),
+            min_attack_samples: 1,
+            canary_min_requests: 0,
+            // The bench measures latency, not the gate: tolerate the
+            // handful of pseudo-label flips a real retrain produces.
+            max_benign_flips: benign.len(),
+            max_detection_drop: 1.0,
+            ..ControlConfig::default()
+        },
+    );
+    while plane.status().promotions == 0 {
+        assert_eq!(plane.status().rollbacks, 0, "bench cycle must promote");
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let latency = start.elapsed().as_secs_f64();
+    assert!(store.version() >= 2);
+    plane.stop();
+    latency
+}
+
+fn bench_control(c: &mut Criterion) {
+    let system = trained();
+    let (n_attacks, n_benign) = if quick() { (128, 128) } else { (512, 512) };
+    let (attacks, benign) = buffered_traffic(n_attacks, n_benign);
+    let retrainer = PsigeneRetrainer::new(system.clone(), 2);
+    let live: Arc<dyn DetectionEngine> = Arc::new(system.clone().with_insight(false));
+    let shadow = retrainer
+        .retrain(&attacks, &benign, 0)
+        .expect("bench retrain")
+        .candidate;
+
+    let mut group = c.benchmark_group("control");
+    group.sample_size(10);
+    group.bench_function("retrain", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                retrainer
+                    .retrain(&attacks, &benign, 0)
+                    .expect("bench retrain"),
+            )
+        });
+    });
+    group.bench_function("differential_replay", |b| {
+        b.iter(|| {
+            std::hint::black_box(differential_replay(
+                live.as_ref(),
+                shadow.as_ref(),
+                &attacks,
+                &benign,
+            ))
+        });
+    });
+    group.finish();
+
+    if let Some(path) = std::env::var_os("PSIGENE_BENCH_JSON") {
+        let passes = if quick() { 4 } else { 12 };
+        let retrain_s = best_secs(passes, || {
+            std::hint::black_box(
+                retrainer
+                    .retrain(&attacks, &benign, 0)
+                    .expect("bench retrain"),
+            );
+        });
+        let replay_s = best_secs(passes, || {
+            std::hint::black_box(differential_replay(
+                live.as_ref(),
+                shadow.as_ref(),
+                &attacks,
+                &benign,
+            ));
+        });
+        let replay_samples_per_sec = (attacks.len() + benign.len()) as f64 / replay_s;
+        let mut promo = f64::INFINITY;
+        for _ in 0..(if quick() { 2 } else { 4 }) {
+            promo = promo.min(promotion_latency(&system, &attacks, &benign));
+        }
+        let json = format!(
+            "{{\n  \"bench\": \"control\",\n  \"mode\": \"{}\",\n  \
+             \"buffer_attacks\": {},\n  \"buffer_benign\": {},\n  \
+             \"retrain_ms\": {:.2},\n  \
+             \"replay_samples_per_sec\": {:.1},\n  \
+             \"promotion_end_to_end_ms\": {:.2}\n}}\n",
+            if quick() { "quick" } else { "full" },
+            attacks.len(),
+            benign.len(),
+            retrain_s * 1e3,
+            replay_samples_per_sec,
+            promo * 1e3,
+        );
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(&path, &json).expect("write PSIGENE_BENCH_JSON");
+        println!("control-loop record -> {}", path.to_string_lossy());
+        print!("{json}");
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_control
+}
+criterion_main!(benches);

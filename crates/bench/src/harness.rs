@@ -1055,6 +1055,7 @@ pub fn obsv(system: &Psigene, setup: &Setup) -> String {
                 sample_every: 16,
                 ..TraceConfig::default()
             },
+            ..GatewayConfig::default()
         },
     );
     // SLO: 99 % of requests within 5 ms end-to-end, evaluated every

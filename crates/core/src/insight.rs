@@ -226,6 +226,30 @@ impl EngineInsight {
             m.rebaseline();
         }
     }
+
+    /// Rebaselines with the promoted model's signature set, given in
+    /// its evaluation order. Score monitors are slot-aligned with that
+    /// order (see [`DriftState`]); a retrain that drops, reorders or
+    /// replaces signatures would otherwise leave a slot accumulating
+    /// one signature's scores against another's reference window and
+    /// report phantom drift forever. Slots whose id still matches are
+    /// rebaselined in place (their history stays useful); slots whose
+    /// id changed are replaced with fresh monitors; extras are
+    /// dropped.
+    pub fn rebaseline_aligned(&self, ids: &[u32]) {
+        let mut st = self.state.lock();
+        st.features.rebaseline();
+        st.signatures.truncate(ids.len());
+        for (slot, &id) in ids.iter().enumerate() {
+            match st.signatures.get_mut(slot) {
+                Some(&mut (slot_id, ref mut m)) if slot_id == id => m.rebaseline(),
+                Some(entry) => *entry = (id, DriftMonitor::new(SCORE_BINS, self.config)),
+                None => st
+                    .signatures
+                    .push((id, DriftMonitor::new(SCORE_BINS, self.config))),
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -316,6 +340,40 @@ mod tests {
         // The gauges hold finite values once exported.
         assert!(telemetry.gauge("drift.features.psi").get().is_finite());
         assert!(telemetry.gauge("drift.sig.1.psi").get().is_finite());
+    }
+
+    #[test]
+    fn rebaseline_aligned_resets_changed_slots_and_keeps_stable_ones() {
+        let ins = EngineInsight::new(4, config(8));
+        for _ in 0..32 {
+            ins.observe(
+                &[1.0, 0.0, 0.0, 0.0],
+                [(3u32, 0.2), (9u32, 0.8)].into_iter(),
+            );
+        }
+        assert_eq!(ins.scores().signatures.len(), 2);
+        // A retrain replaced signature 9 with signature 7 in slot 1.
+        ins.rebaseline_aligned(&[3, 7]);
+        let s = ins.scores();
+        let ids: Vec<u32> = s.signatures.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![3, 7]);
+        // The fresh slot starts with no windows; the stable slot kept
+        // its (rebaselined) history and scores low once fed.
+        assert_eq!(
+            s.signatures.iter().find(|&&(id, _)| id == 7).unwrap().1,
+            None
+        );
+        for _ in 0..32 {
+            ins.observe(
+                &[1.0, 0.0, 0.0, 0.0],
+                [(3u32, 0.2), (7u32, 0.8)].into_iter(),
+            );
+        }
+        let s = ins.scores();
+        assert!(s.signatures.iter().all(|&(_, p)| p.unwrap() < 0.05));
+        // Shrinking the signature set drops the extra slot.
+        ins.rebaseline_aligned(&[3]);
+        assert_eq!(ins.scores().signatures.len(), 1);
     }
 
     #[test]

@@ -529,9 +529,31 @@ impl Psigene {
         out
     }
 
+    /// A copy wired for the continuous-learning control plane: drift
+    /// monitoring is enabled under `config` and the shared monitor
+    /// handle is returned alongside, so the caller can hand it to a
+    /// `DriftWatch` (e.g. `psigene_control::InsightDrift`) while the
+    /// engine copy goes into the serving store. Clones of the returned
+    /// engine — including retrained successors from
+    /// [`Psigene::retrain_with`] — keep feeding the same monitor.
+    pub fn with_control(
+        &self,
+        config: psigene_telemetry::insight::DriftConfig,
+    ) -> (Psigene, std::sync::Arc<crate::insight::EngineInsight>) {
+        let out = self.with_drift_config(config);
+        let handle = out.insight.clone().expect("insight just enabled");
+        (out, handle)
+    }
+
     /// The engine's drift monitor, when enabled.
     pub fn insight(&self) -> Option<&crate::insight::EngineInsight> {
         self.insight.as_deref()
+    }
+
+    /// A shareable handle to the engine's drift monitor, when enabled
+    /// (the same `Arc` every clone of this engine feeds).
+    pub fn insight_handle(&self) -> Option<std::sync::Arc<crate::insight::EngineInsight>> {
+        self.insight.clone()
     }
 
     /// Current drift scores, when monitoring is enabled and at least
@@ -544,9 +566,17 @@ impl Psigene {
     /// references — called right after promoting a retrained model so
     /// drift is measured against the traffic it was accepted on.
     /// No-op when monitoring is disabled.
+    ///
+    /// The monitor's per-signature score slots are aligned to *this*
+    /// engine's signature set: slots whose signature survived the
+    /// retrain keep their history, slots whose slot-aligned id
+    /// changed (dropped, reordered or replaced signatures) are reset
+    /// rather than left accumulating one signature's scores against
+    /// another's reference window.
     pub fn rebaseline_drift(&self) {
         if let Some(i) = self.insight.as_deref() {
-            i.rebaseline();
+            let ids: Vec<u32> = self.signatures.iter().map(|s| s.id as u32).collect();
+            i.rebaseline_aligned(&ids);
         }
     }
 }

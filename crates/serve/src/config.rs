@@ -1,6 +1,9 @@
-//! Gateway sizing, overload behaviour and trace sampling.
+//! Gateway sizing, overload behaviour, trace sampling and the
+//! verdict tap.
 
+use psigene_control::VerdictSink;
 use psigene_telemetry::insight::TraceConfig;
+use std::sync::Arc;
 
 /// What the gateway does when every shard queue is at its bound.
 ///
@@ -39,7 +42,7 @@ impl OverloadPolicy {
 
 /// Gateway sizing: how many worker shards and how deep each shard's
 /// queue runs before [`OverloadPolicy`] kicks in.
-#[derive(Debug, Clone, Copy)]
+#[derive(Clone)]
 pub struct GatewayConfig {
     /// Number of worker shards (threads), each with its own bounded
     /// queue. Clamped to at least 1.
@@ -53,6 +56,12 @@ pub struct GatewayConfig {
     /// tree through the gateway and detector; the rest pay one hash
     /// and no allocation. `sample_every: 0` disables tracing.
     pub trace: TraceConfig,
+    /// Verdict tap: invoked on the worker thread for every *evaluated*
+    /// request — `(gateway request id, request, detection)` — right
+    /// after evaluation. Shed requests never reach the tap. The
+    /// control plane's [`SampleBuffer`](psigene_control::SampleBuffer)
+    /// implements the sink; `None` costs nothing.
+    pub tap: Option<Arc<dyn VerdictSink>>,
 }
 
 impl Default for GatewayConfig {
@@ -65,7 +74,20 @@ impl Default for GatewayConfig {
             queue_capacity: 1024,
             policy: OverloadPolicy::Block,
             trace: TraceConfig::default(),
+            tap: None,
         }
+    }
+}
+
+impl std::fmt::Debug for GatewayConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GatewayConfig")
+            .field("shards", &self.shards)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("policy", &self.policy)
+            .field("trace", &self.trace)
+            .field("tap", &self.tap.is_some())
+            .finish()
     }
 }
 
@@ -80,6 +102,8 @@ mod tests {
         assert!(c.queue_capacity >= 1);
         assert_eq!(c.policy, OverloadPolicy::Block);
         assert!(c.trace.sample_every >= 1);
+        assert!(c.tap.is_none());
+        assert!(format!("{c:?}").contains("tap: false"));
     }
 
     #[test]

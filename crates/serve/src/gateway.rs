@@ -19,6 +19,9 @@ const EXEMPLAR_CAPACITY: usize = 8;
 /// One unit of work on a shard queue.
 enum Job {
     One {
+        /// Gateway-assigned evaluation id: the canary-routing key and
+        /// the id handed to the verdict tap.
+        id: u64,
         request: HttpRequest,
         submitted: Instant,
         reply: Sender<Verdict>,
@@ -26,6 +29,12 @@ enum Job {
         trace: Option<TraceContext>,
     },
     Batch {
+        /// First evaluation id of the batch; request `i` gets
+        /// `base_id + i`. The whole batch is engine-routed by
+        /// `base_id` (a batch is one queue slot and one engine call —
+        /// splitting it across live and canary engines would break
+        /// the batch path's amortization).
+        base_id: u64,
         requests: Vec<HttpRequest>,
         submitted: Instant,
         reply: Sender<Vec<Verdict>>,
@@ -137,9 +146,14 @@ pub struct Gateway {
     next: AtomicUsize,
     metrics: Arc<Metrics>,
     tracer: Tracer,
-    /// Monotonically increasing request id: the deterministic sampling
-    /// key and the id printed on exemplar traces.
+    /// Monotonically increasing submission id: the deterministic
+    /// trace-sampling key and the id printed on exemplar traces.
     request_ids: AtomicU64,
+    /// Monotonically increasing per-request evaluation id (a batch
+    /// consumes one per request): the canary-routing key and the id
+    /// the verdict tap sees. Separate from `request_ids` so adding a
+    /// tap never changes which submissions get traced.
+    eval_ids: AtomicU64,
     exemplars: Arc<Mutex<ExemplarBuffer>>,
 }
 
@@ -210,6 +224,7 @@ impl Gateway {
             let worker_metrics = Arc::clone(&metrics);
             let worker_depth = Arc::clone(&depth);
             let worker_exemplars = Arc::clone(&exemplars);
+            let worker_tap = config.tap.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("psigene-serve-{i}"))
@@ -220,6 +235,7 @@ impl Gateway {
                             worker_metrics,
                             worker_depth,
                             worker_exemplars,
+                            worker_tap,
                         )
                     })
                     .expect("spawn gateway worker"),
@@ -235,6 +251,7 @@ impl Gateway {
             next: AtomicUsize::new(0),
             metrics,
             request_ids: AtomicU64::new(0),
+            eval_ids: AtomicU64::new(0),
             exemplars,
         }
     }
@@ -261,6 +278,7 @@ impl Gateway {
             t.begin("gateway.queue");
         }
         let job = Job::One {
+            id: self.eval_ids.fetch_add(1, Ordering::Relaxed),
             request,
             submitted: Instant::now(),
             reply: reply_tx,
@@ -306,6 +324,7 @@ impl Gateway {
             t.begin("gateway.queue");
         }
         let job = Job::Batch {
+            base_id: self.eval_ids.fetch_add(len as u64, Ordering::Relaxed),
             requests,
             submitted: Instant::now(),
             reply: reply_tx,
@@ -452,17 +471,19 @@ fn worker_loop(
     metrics: Arc<Metrics>,
     depth: Arc<psigene_telemetry::Gauge>,
     exemplars: Arc<Mutex<ExemplarBuffer>>,
+    tap: Option<Arc<dyn psigene_control::VerdictSink>>,
 ) {
     while let Ok(job) = rx.recv() {
         depth.set(rx.len() as f64);
         match job {
             Job::One {
+                id,
                 request,
                 submitted,
                 reply,
                 trace,
             } => {
-                let engine = store.current();
+                let engine = store.engine_for(id);
                 let detection = match trace {
                     None => engine.evaluate(&request),
                     Some(mut t) => {
@@ -474,10 +495,14 @@ fn worker_loop(
                         detection
                     }
                 };
+                if let Some(tap) = &tap {
+                    tap.observe(id, &request, &detection);
+                }
                 metrics.account_served(1, submitted.elapsed());
                 let _ = reply.send(Verdict::Evaluated(detection));
             }
             Job::Batch {
+                base_id,
                 requests,
                 submitted,
                 reply,
@@ -485,7 +510,7 @@ fn worker_loop(
             } => {
                 // One engine snapshot for the whole batch: a reload
                 // landing mid-batch applies from the next batch on.
-                let engine = store.current();
+                let engine = store.engine_for(base_id);
                 let detections = match trace {
                     None => engine.evaluate_batch(&requests),
                     Some(mut t) => {
@@ -497,6 +522,11 @@ fn worker_loop(
                         detections
                     }
                 };
+                if let Some(tap) = &tap {
+                    for (i, (request, detection)) in requests.iter().zip(&detections).enumerate() {
+                        tap.observe(base_id + i as u64, request, detection);
+                    }
+                }
                 metrics.batches.inc();
                 metrics.account_served(detections.len() as u64, submitted.elapsed());
                 let _ = reply.send(detections.into_iter().map(Verdict::Evaluated).collect());
@@ -702,6 +732,7 @@ mod tests {
                     sample_every: 1,
                     seed: 7,
                 },
+                ..GatewayConfig::default()
             },
         );
         for i in 0..5 {
@@ -739,6 +770,7 @@ mod tests {
                     sample_every: 0,
                     seed: 7,
                 },
+                ..GatewayConfig::default()
             },
         );
         for i in 0..20 {
@@ -746,6 +778,60 @@ mod tests {
         }
         assert!(gateway.trace_exemplars().is_empty());
         drop(gateway);
+    }
+
+    #[test]
+    fn tap_sees_every_evaluated_request_and_no_shed_ones() {
+        use psigene_control::VerdictSink;
+        struct CountingTap {
+            observed: AtomicU64,
+            flagged: AtomicU64,
+            ids: Mutex<Vec<u64>>,
+        }
+        impl VerdictSink for CountingTap {
+            fn observe(&self, id: u64, _request: &HttpRequest, detection: &Detection) {
+                self.observed.fetch_add(1, Ordering::Relaxed);
+                if detection.flagged {
+                    self.flagged.fetch_add(1, Ordering::Relaxed);
+                }
+                self.ids.lock().push(id);
+            }
+        }
+        let tap = Arc::new(CountingTap {
+            observed: AtomicU64::new(0),
+            flagged: AtomicU64::new(0),
+            ids: Mutex::new(Vec::new()),
+        });
+        let gateway = Gateway::start(
+            SignatureStore::new(free_engine()),
+            GatewayConfig {
+                shards: 2,
+                queue_capacity: 64,
+                policy: OverloadPolicy::Block,
+                tap: Some(Arc::clone(&tap) as Arc<dyn VerdictSink>),
+                ..GatewayConfig::default()
+            },
+        );
+        for i in 0..5 {
+            let path = if i % 2 == 0 { "/attack" } else { "/ok" };
+            let _ = gateway.check(HttpRequest::get("h", path, &format!("i={i}")));
+        }
+        let _ = gateway.check_batch(vec![
+            HttpRequest::get("h", "/ok", "a=1"),
+            HttpRequest::get("h", "/attack", "b=2"),
+            HttpRequest::get("h", "/ok", "c=3"),
+        ]);
+        let stats = gateway.shutdown();
+        assert_eq!(stats.served, 8);
+        assert_eq!(tap.observed.load(Ordering::Relaxed), 8);
+        assert_eq!(tap.flagged.load(Ordering::Relaxed), 4);
+        // Ids are unique: singles get one each, the batch a
+        // contiguous base+i range.
+        let mut ids = tap.ids.lock().clone();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 8);
+        assert_eq!(*ids.last().unwrap(), 7);
     }
 
     #[test]

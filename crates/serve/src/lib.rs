@@ -34,6 +34,15 @@
 //! - [`LatencySlo`] — multi-window burn-rate evaluation of a latency
 //!   SLO over the `serve.latency_ns` histogram, exported as `slo.*`
 //!   gauges.
+//! - [`control`] (re-export of `psigene-control`) — the
+//!   continuous-learning control plane: a
+//!   [`SampleBuffer`](control::SampleBuffer) fed from the gateway's
+//!   verdict tap ([`GatewayConfig::tap`]), a drift-debounced retrain
+//!   trigger, differential replay of buffered traffic against the
+//!   shadow model, and automatic promote/rollback through
+//!   [`SignatureStore::swap_versioned`] — with optional canary
+//!   routing ([`SignatureStore::set_canary`]) of a deterministic
+//!   id-sampled traffic fraction through the shadow first.
 //!
 //! Everything is instrumented through `psigene-telemetry`: per-shard
 //! queue-depth gauges (`serve.shard.<i>.queue_depth`),
@@ -74,6 +83,8 @@ mod config;
 mod gateway;
 mod slo;
 mod store;
+
+pub use psigene_control as control;
 
 pub use config::{GatewayConfig, OverloadPolicy};
 pub use gateway::{BatchTicket, Gateway, GatewayStats, Ticket};

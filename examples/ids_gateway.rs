@@ -115,9 +115,12 @@ fn main() {
             });
         }
         // Hot reload under load: fold fresh attack samples in via the
-        // incremental trainer, then atomically swap the result live.
+        // incremental trainer, then atomically swap the result live —
+        // versioned, so the new model's metadata lands on the
+        // `serve.model.*` gauges the moment it starts serving.
         let store = &store;
         let system = &system;
+        let gateway_ref = &gateway;
         s.spawn(move || {
             let fresh = sqlmap::generate(&SqlmapConfig {
                 samples: if quick { 40 } else { 200 },
@@ -125,7 +128,13 @@ fn main() {
                 ..Default::default()
             });
             let (retrained, stats) = system.retrain_with(&fresh, 2);
-            let version = store.swap(Arc::new(retrained) as Arc<dyn DetectionEngine>);
+            let meta = psigene_serve::control::ModelMeta {
+                model_id: 2,
+                trained_at: gateway_ref.stats().served,
+                training_samples: fresh.len(),
+            };
+            let version =
+                store.swap_versioned(Arc::new(retrained) as Arc<dyn DetectionEngine>, meta);
             println!(
                 "hot reload: {} samples assigned, {} signatures refitted → live version {}",
                 stats.assigned, stats.retrained_signatures, version
@@ -172,6 +181,12 @@ fn main() {
         stats.shed,
         store.version()
     );
+    if let Some(meta) = store.model_meta() {
+        println!(
+            "live model: id {} / trained at request {} / {} training samples",
+            meta.model_id, meta.trained_at, meta.training_samples
+        );
+    }
     let snap = psigene_telemetry::global().snapshot();
     if let Some(h) = snap.histograms.get("serve.latency_ns") {
         if let (Some(p50), Some(p99)) = (h.p50(), h.p99()) {

@@ -76,4 +76,21 @@ PSIGENE_BENCH_QUICK=1 PSIGENE_BENCH_JSON="$PWD/results/BENCH_obsv.json" \
     cargo bench -p psigene-bench --bench obsv
 test -s results/BENCH_obsv.json
 
+# Control-loop integration test: a drift-inducing traffic shift must
+# drive the full closed loop (background retrain, differential replay,
+# canary, promotion) with zero dropped requests, and a sabotaged
+# shadow must be rolled back without touching the live engine. Real
+# parallelism (gateway shards + the control driver thread) matters, so
+# RUST_TEST_THREADS stays unset.
+echo "==> control-loop integration test (drift / retrain / promote / rollback)"
+env -u RUST_TEST_THREADS cargo test --release -p psigene-serve --test control_loop -q
+
+# Control bench in quick mode: records retrain wall clock, replay
+# throughput and the drift→promoted end-to-end latency so the cost of
+# the continuous-learning loop stays visible.
+echo "==> control bench (quick) -> results/BENCH_control.json"
+PSIGENE_BENCH_QUICK=1 PSIGENE_BENCH_JSON="$PWD/results/BENCH_control.json" \
+    cargo bench -p psigene-bench --bench control
+test -s results/BENCH_control.json
+
 echo "CI OK"

@@ -224,6 +224,7 @@ fn trace_sampling_is_deterministic_and_unsampled_requests_allocate_nothing() {
                 queue_capacity: 64,
                 policy: OverloadPolicy::Block,
                 trace: config,
+                ..GatewayConfig::default()
             },
         );
         for i in 0..48 {
