@@ -5,20 +5,56 @@
 //!
 //! The `multilit_prescan` group isolates the operational-phase cost
 //! the paper's throughput comparison hinges on: full-library feature
-//! extraction with the one-pass Aho–Corasick prescan versus the
-//! per-feature baseline, on an attack/benign traffic mix. When
+//! extraction with the fused lazy-DFA engine (one pass reports every
+//! matching feature) versus the one-pass Aho–Corasick prescan versus
+//! the per-feature baseline, on an attack/benign traffic mix. When
 //! `PSIGENE_BENCH_JSON` names a file, the same workloads are timed
-//! wall-clock and written as payloads/sec so CI keeps a perf
-//! trajectory (`PSIGENE_BENCH_QUICK=1` shrinks sample counts for the
-//! CI gate).
+//! wall-clock and written as payloads/sec — plus allocations per
+//! payload on the fused hot path, counted by this binary's global
+//! allocator — so CI keeps a perf trajectory (`PSIGENE_BENCH_QUICK=1`
+//! shrinks sample counts for the CI gate, `PSIGENE_BENCH_ENFORCE=1`
+//! fails the run if the fused engine falls behind the prescan on
+//! attack traffic).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use psigene::{PipelineConfig, Psigene};
 use psigene_corpus::benign::{self, BenignConfig};
 use psigene_corpus::sqlmap::{self, SqlmapConfig};
-use psigene_features::{extract, FeatureSet};
+use psigene_features::{extract, FeatureSet, MatchMode};
 use psigene_rulesets::{BroEngine, DetectionEngine, ModsecEngine, SnortEngine};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+// ─── Counting allocator: allocs/request on the extraction hot path ───
+// The library crates forbid unsafe; this bench binary is a separate
+// crate and may count allocations the only way Rust allows (the same
+// idiom as tests/observability.rs).
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 fn quick() -> bool {
     std::env::var_os("PSIGENE_BENCH_QUICK").is_some()
@@ -129,12 +165,15 @@ fn bench_engines(c: &mut Criterion) {
     });
     hot.finish();
 
-    // ── One-pass multi-pattern prescan vs the per-feature baseline ──
+    // ── Fused lazy-DFA vs prescan vs the per-feature baseline ──
     // The full raw library (the paper's ~477-feature scale) is where
     // per-feature scanning hurts: the baseline traverses the payload
-    // once per feature, the prescan once per payload.
-    let full = FeatureSet::full();
-    full.compiled(); // build the automaton outside the measurement
+    // once per feature, the prescan once per payload plus one VM run
+    // per surviving candidate, the fused engine once per payload with
+    // VM runs only for the handful of unfusable fallback features.
+    let full = FeatureSet::full(); // default mode: Fused
+    full.compiled(); // build the automata outside the measurement
+    let prescan_set = full.with_match_mode(MatchMode::Prescan);
     let naive = full.with_prescan(false);
     let attack_payloads: Vec<&[u8]> = attacks
         .samples
@@ -167,7 +206,11 @@ fn bench_engines(c: &mut Criterion) {
         ("attack", &attack_payloads),
         ("mixed", &mixed),
     ] {
-        for (mode, set) in [("prescan", &full), ("per_feature", &naive)] {
+        for (mode, set) in [
+            ("fused", &full),
+            ("prescan", &prescan_set),
+            ("per_feature", &naive),
+        ] {
             prescan.bench_with_input(
                 BenchmarkId::new(format!("extract_row_{traffic}"), mode),
                 payloads,
@@ -185,7 +228,14 @@ fn bench_engines(c: &mut Criterion) {
     prescan.finish();
 
     if let Some(path) = std::env::var_os("PSIGENE_BENCH_JSON") {
-        write_bench_json(&path, &full, &naive, &benign_payloads, &attack_payloads);
+        write_bench_json(
+            &path,
+            &full,
+            &prescan_set,
+            &naive,
+            &benign_payloads,
+            &attack_payloads,
+        );
     }
 }
 
@@ -204,33 +254,64 @@ fn payloads_per_sec(set: &FeatureSet, payloads: &[&[u8]], passes: usize) -> f64 
     (passes * payloads.len()) as f64 / start.elapsed().as_secs_f64()
 }
 
-/// Emits the naive-vs-prescan throughput record CI tracks across PRs.
+/// Heap allocations per payload on a warm extraction path: one warmup
+/// pass (fills the thread-local scratch and the lazy-DFA cache), then
+/// the allocator delta across a measured pass. The steady state should
+/// allocate only for the returned feature row, not per scan.
+fn allocs_per_payload(set: &FeatureSet, payloads: &[&[u8]]) -> f64 {
+    for p in payloads {
+        std::hint::black_box(extract::extract_row(set, p).len());
+    }
+    let before = allocations();
+    for p in payloads {
+        std::hint::black_box(extract::extract_row(set, p).len());
+    }
+    (allocations() - before) as f64 / payloads.len() as f64
+}
+
+/// Emits the fused-vs-prescan-vs-naive throughput record CI tracks
+/// across PRs. With `PSIGENE_BENCH_ENFORCE=1` the run fails if the
+/// fused engine is slower than the prescan on attack traffic — the
+/// workload the fused engine exists to accelerate.
 fn write_bench_json(
     path: &std::ffi::OsStr,
-    full: &FeatureSet,
+    fused: &FeatureSet,
+    prescan: &FeatureSet,
     naive: &FeatureSet,
     benign: &[&[u8]],
     attacks: &[&[u8]],
 ) {
     let passes = if quick() { 3 } else { 10 };
-    let benign_prescan = payloads_per_sec(full, benign, passes);
+    let benign_fused = payloads_per_sec(fused, benign, passes);
+    let benign_prescan = payloads_per_sec(prescan, benign, passes);
     let benign_naive = payloads_per_sec(naive, benign, passes);
-    let attack_prescan = payloads_per_sec(full, attacks, passes);
+    let attack_fused = payloads_per_sec(fused, attacks, passes);
+    let attack_prescan = payloads_per_sec(prescan, attacks, passes);
     let attack_naive = payloads_per_sec(naive, attacks, passes);
+    let attack_allocs = allocs_per_payload(fused, attacks);
+    let benign_allocs = allocs_per_payload(fused, benign);
     let json = format!(
         "{{\n  \"bench\": \"matching\",\n  \"mode\": \"{}\",\n  \"features\": {},\n  \
          \"benign\": {{ \"naive_payloads_per_sec\": {:.1}, \"prescan_payloads_per_sec\": {:.1}, \
-         \"speedup\": {:.2} }},\n  \
+         \"fused_payloads_per_sec\": {:.1}, \"speedup\": {:.2}, \"fused_speedup\": {:.2}, \
+         \"fused_allocs_per_payload\": {:.2} }},\n  \
          \"attack\": {{ \"naive_payloads_per_sec\": {:.1}, \"prescan_payloads_per_sec\": {:.1}, \
-         \"speedup\": {:.2} }}\n}}\n",
+         \"fused_payloads_per_sec\": {:.1}, \"speedup\": {:.2}, \"fused_speedup\": {:.2}, \
+         \"fused_allocs_per_payload\": {:.2} }}\n}}\n",
         if quick() { "quick" } else { "full" },
-        full.len(),
+        fused.len(),
         benign_naive,
         benign_prescan,
+        benign_fused,
         benign_prescan / benign_naive,
+        benign_fused / benign_naive,
+        benign_allocs,
         attack_naive,
         attack_prescan,
+        attack_fused,
         attack_prescan / attack_naive,
+        attack_fused / attack_naive,
+        attack_allocs,
     );
     if let Some(dir) = std::path::Path::new(path).parent() {
         let _ = std::fs::create_dir_all(dir);
@@ -241,6 +322,17 @@ fn write_bench_json(
         path.to_string_lossy()
     );
     print!("{json}");
+    if std::env::var_os("PSIGENE_BENCH_ENFORCE").is_some() {
+        assert!(
+            attack_fused >= attack_prescan,
+            "fused engine regressed below the prescan baseline on attack \
+             traffic: {attack_fused:.1} < {attack_prescan:.1} payloads/sec"
+        );
+        println!(
+            "PSIGENE_BENCH_ENFORCE: fused attack throughput {:.1} >= prescan {:.1} — ok",
+            attack_fused, attack_prescan
+        );
+    }
 }
 
 criterion_group! {

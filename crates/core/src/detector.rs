@@ -7,10 +7,12 @@
 //! [`Psigene::score_features`] / [`Psigene::probabilities_from`]
 //! consume it. `evaluate` composes the two; the serving gateway's
 //! batch path calls them directly with a reused buffer. Extraction
-//! itself is gated by the feature set's one-pass literal prescan
-//! (see `psigene_features::prescan`), so on quiet traffic most
+//! itself is gated by the feature set's one-pass set-level scan —
+//! by default the fused lazy-DFA engine, which reports the exact
+//! matching-feature set (see `psigene_features::prescan`) — so most
 //! feature VMs never run; [`Psigene::with_prescan`] forces the
-//! always-run path for equivalence checks and baselines.
+//! always-run path for equivalence checks and baselines, and
+//! `Psigene::with_match_mode` selects any of the three strategies.
 //!
 //! Telemetry handles are resolved once per process (not per request):
 //! the hot path touches pre-fetched `Arc<Counter>` / `Arc<Histogram>`
@@ -345,9 +347,14 @@ mod tests {
     }
 
     #[test]
-    fn prescan_and_forced_path_verdicts_are_identical() {
-        let p = trained();
-        let forced = p.with_prescan(false);
+    fn all_match_mode_verdicts_are_identical() {
+        use psigene_features::MatchMode;
+        let p = trained(); // default: fused
+        let others = [
+            p.with_match_mode(MatchMode::Prescan),
+            p.with_match_mode(MatchMode::Naive),
+            p.with_prescan(false), // alias for Naive
+        ];
         let queries = [
             "id=-1+union+select+1,2,3--",
             "page=2&sort=asc",
@@ -357,12 +364,14 @@ mod tests {
         ];
         for q in queries {
             let req = HttpRequest::get("v", "/x.php", q);
-            assert_eq!(p.features_of(&req), forced.features_of(&req), "{q}");
             let a = p.evaluate(&req);
-            let b = forced.evaluate(&req);
-            assert_eq!(a.flagged, b.flagged, "{q}");
-            assert_eq!(a.matched_rules, b.matched_rules, "{q}");
-            assert_eq!(a.score.to_bits(), b.score.to_bits(), "{q}");
+            for other in &others {
+                assert_eq!(p.features_of(&req), other.features_of(&req), "{q}");
+                let b = other.evaluate(&req);
+                assert_eq!(a.flagged, b.flagged, "{q}");
+                assert_eq!(a.matched_rules, b.matched_rules, "{q}");
+                assert_eq!(a.score.to_bits(), b.score.to_bits(), "{q}");
+            }
         }
     }
 

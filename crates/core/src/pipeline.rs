@@ -493,13 +493,23 @@ impl Psigene {
         out
     }
 
-    /// A copy with the set-level literal prescan toggled. With
-    /// `false`, detection extracts features on the forced always-run
-    /// path (one VM run per feature) — byte-identical verdicts,
-    /// kept as the equivalence oracle and benchmark baseline.
+    /// A copy with the set-level scan toggled. With `false`,
+    /// detection extracts features on the forced always-run path (one
+    /// VM run per feature) — byte-identical verdicts, kept as the
+    /// equivalence oracle and benchmark baseline. With `true`, the
+    /// default fused engine.
     pub fn with_prescan(&self, enabled: bool) -> Psigene {
         let mut out = self.clone();
         out.feature_set = out.feature_set.with_prescan(enabled);
+        out
+    }
+
+    /// A copy extracting features under `mode` (fused lazy-DFA,
+    /// literal prescan, or forced always-run). All modes produce
+    /// byte-identical verdicts; they differ only in cost.
+    pub fn with_match_mode(&self, mode: psigene_features::MatchMode) -> Psigene {
+        let mut out = self.clone();
+        out.feature_set = out.feature_set.with_match_mode(mode);
         out
     }
 

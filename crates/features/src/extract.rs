@@ -2,37 +2,61 @@
 //!
 //! Payloads are first normalized with the five transformations of
 //! §II-A. Extraction then makes **one pass** over the normalized
-//! bytes with the set-level literal prescan
-//! ([`crate::prescan::CompiledFeatureSet`]) to decide which features
-//! can possibly match, and runs `count_all` only on those candidates
-//! (plus the always-run features that have no literal requirement).
-//! The candidate set is a superset of the matching features, so the
-//! output is identical to running every feature — verified by
-//! property test in `crate::proptests`. Matrix extraction
+//! bytes with a set-level engine from
+//! [`crate::prescan::CompiledFeatureSet`] to decide which features'
+//! VMs to run (see [`crate::set::MatchMode`]):
+//!
+//! * **Fused** (default): the fused lazy-DFA scan reports the *exact*
+//!   matching set for every fusable feature, so `count_all` runs only
+//!   for features already known to match (plus the prescan-gated
+//!   fallback list).
+//! * **Prescan**: the literal Aho–Corasick pass yields a *superset*
+//!   of the matching features; candidates then run their VMs.
+//!
+//! Either way the output is identical to running every feature —
+//! verified by property test in `crate::proptests`. Matrix extraction
 //! parallelizes over samples with crossbeam scoped threads (each
 //! sample is independent).
 
-use crate::set::FeatureSet;
+use crate::set::{FeatureSet, MatchMode};
 use psigene_http::normalize::normalize;
 use psigene_linalg::{CsrBuilder, CsrMatrix};
-use psigene_regex::CandidateSet;
+use psigene_regex::{CandidateSet, DfaCache, VmCache};
 use psigene_telemetry::insight::TraceContext;
 use psigene_telemetry::{Counter, Gauge};
 use std::cell::RefCell;
 use std::sync::{Arc, OnceLock};
 
 /// Accounting for one or more extractions: how many feature VMs
-/// actually ran versus were skipped by the set-level prescan.
+/// actually ran versus were skipped by the set-level scan (literal
+/// prescan or fused lazy-DFA).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct ExtractStats {
     /// Feature VM invocations (`count_all` runs) that happened.
     pub vm_runs: u64,
-    /// VM runs skipped: prefilterable features with none of their
-    /// literals in the payload.
+    /// VM runs skipped: features the set-level scan proved (fused) or
+    /// deemed (prescan literals absent) unnecessary.
     pub vm_runs_skipped: u64,
-    /// Features the literal engine flagged as candidates (excludes
-    /// the always-run list, which never consults the engine).
+    /// Features the set-level engine flagged as candidates (excludes
+    /// the always-run list, which never consults an engine).
     pub prefilter_candidates: u64,
+    /// Fused features with at least one match (their VM runs are the
+    /// only fused VM runs — the fused scan is exact).
+    pub fused_matched: u64,
+    /// Fused features whose VM run the fused scan proved unnecessary.
+    pub fused_skipped: u64,
+    /// VM runs for features outside the fused automaton (the
+    /// fallback list), fused mode only.
+    pub fallback_vm_runs: u64,
+    /// Lazy-DFA transitions that had to be determinized.
+    pub dfa_misses: u64,
+    /// Lazy-DFA state-cache flushes forced by the state limit.
+    pub dfa_flushes: u64,
+    /// Bytes scanned by the lazy DFA (= transitions taken).
+    pub dfa_bytes: u64,
+    /// Peak lazy-DFA states resident after a scan (absorb keeps the
+    /// maximum, not the sum).
+    pub dfa_states: u64,
 }
 
 impl ExtractStats {
@@ -40,15 +64,44 @@ impl ExtractStats {
         self.vm_runs += other.vm_runs;
         self.vm_runs_skipped += other.vm_runs_skipped;
         self.prefilter_candidates += other.prefilter_candidates;
+        self.fused_matched += other.fused_matched;
+        self.fused_skipped += other.fused_skipped;
+        self.fallback_vm_runs += other.fallback_vm_runs;
+        self.dfa_misses += other.dfa_misses;
+        self.dfa_flushes += other.dfa_flushes;
+        self.dfa_bytes += other.dfa_bytes;
+        self.dfa_states = self.dfa_states.max(other.dfa_states);
     }
 
-    /// Fraction of potential VM runs the prescan eliminated.
+    /// Fraction of potential VM runs the set-level scan eliminated.
     pub fn skip_ratio(&self) -> f64 {
         let total = self.vm_runs + self.vm_runs_skipped;
         if total == 0 {
             0.0
         } else {
             self.vm_runs_skipped as f64 / total as f64
+        }
+    }
+
+    /// Fraction of fused-feature VM runs the fused scan eliminated
+    /// (the fused analog of [`ExtractStats::skip_ratio`]); 0 when the
+    /// fused engine was not involved.
+    pub fn fused_skip_ratio(&self) -> f64 {
+        let total = self.fused_matched + self.fused_skipped;
+        if total == 0 {
+            0.0
+        } else {
+            self.fused_skipped as f64 / total as f64
+        }
+    }
+
+    /// Fraction of lazy-DFA transitions served from the state cache;
+    /// `None` when the DFA scanned no bytes.
+    pub fn dfa_hit_ratio(&self) -> Option<f64> {
+        if self.dfa_bytes == 0 {
+            None
+        } else {
+            Some(1.0 - self.dfa_misses as f64 / self.dfa_bytes as f64)
         }
     }
 }
@@ -62,6 +115,11 @@ struct ExtractMetrics {
     rows_extracted: Arc<Counter>,
     skip_ratio: Arc<Gauge>,
     matrix_fill_rate: Arc<Gauge>,
+    fused_skip_ratio: Arc<Gauge>,
+    fused_fallback_vm_runs: Arc<Counter>,
+    fused_cache_states: Arc<Gauge>,
+    fused_cache_hit_ratio: Arc<Gauge>,
+    fused_cache_flushes: Arc<Counter>,
 }
 
 fn metrics() -> &'static ExtractMetrics {
@@ -75,15 +133,23 @@ fn metrics() -> &'static ExtractMetrics {
             rows_extracted: telemetry.counter("features.rows_extracted"),
             skip_ratio: telemetry.gauge("features.vm_skip_ratio"),
             matrix_fill_rate: telemetry.gauge("features.matrix_fill_rate"),
+            fused_skip_ratio: telemetry.gauge("features.fused_skip_ratio"),
+            fused_fallback_vm_runs: telemetry.counter("regex.fused.fallback_vm_runs"),
+            fused_cache_states: telemetry.gauge("regex.fused.cache_states"),
+            fused_cache_hit_ratio: telemetry.gauge("regex.fused.cache_hit_ratio"),
+            fused_cache_flushes: telemetry.counter("regex.fused.cache_flushes"),
         }
     })
 }
 
 /// Accounts extraction work in the global registry:
 /// `features.regex_evals` counts VM invocations that *actually
-/// happened* (not `rows × features` — the prescan skips most of
-/// those), with the skipped complement in `features.vm_runs_skipped`
-/// and the running skip fraction in `features.vm_skip_ratio`.
+/// happened* (not `rows × features` — the set-level scan skips most
+/// of those), with the skipped complement in
+/// `features.vm_runs_skipped` and the running skip fraction in
+/// `features.vm_skip_ratio`. Fused-mode extractions additionally feed
+/// `features.fused_skip_ratio` and the `regex.fused.*` family (state
+/// cache occupancy/hit ratio/flushes, fallback VM runs).
 fn record_stats(stats: &ExtractStats, rows: u64) {
     let m = metrics();
     m.regex_evals.add(stats.vm_runs);
@@ -91,12 +157,33 @@ fn record_stats(stats: &ExtractStats, rows: u64) {
     m.vm_runs_skipped.add(stats.vm_runs_skipped);
     m.rows_extracted.add(rows);
     m.skip_ratio.set(stats.skip_ratio());
+    if stats.fused_matched + stats.fused_skipped > 0 {
+        m.fused_skip_ratio.set(stats.fused_skip_ratio());
+        m.fused_fallback_vm_runs.add(stats.fallback_vm_runs);
+        m.fused_cache_states.set(stats.dfa_states as f64);
+        m.fused_cache_flushes.add(stats.dfa_flushes);
+        if let Some(hit) = stats.dfa_hit_ratio() {
+            m.fused_cache_hit_ratio.set(hit);
+        }
+    }
+}
+
+/// Per-thread scan working memory shared by both set-level engines:
+/// the candidate bitset (one per extraction, written by the fused
+/// scan and the literal prescans alike) and the lazy-DFA state cache
+/// (warm across requests — the whole point of lazy determinization).
+#[derive(Default)]
+struct ScanScratch {
+    bits: CandidateSet,
+    dfa: DfaCache,
+    vm: VmCache,
 }
 
 thread_local! {
-    /// Per-thread candidate-bitset scratch; `count_into` is the only
-    /// user, so extraction never allocates the bitset per payload.
-    static SCRATCH: RefCell<CandidateSet> = RefCell::new(CandidateSet::new(0));
+    /// Per-thread scratch; `count_into_traced` is the only user, so
+    /// extraction allocates neither the bitset nor the DFA cache per
+    /// payload.
+    static SCRATCH: RefCell<ScanScratch> = RefCell::new(ScanScratch::default());
 }
 
 /// Runs every due feature over the already-normalized `norm`,
@@ -120,10 +207,13 @@ fn count_into_traced(
     let features = set.features();
     if !set.prescan_enabled() {
         // Forced always-run path: one VM run (behind its private
-        // prefilter) per feature — the equivalence oracle.
+        // prefilter) per feature — the equivalence oracle. The VM
+        // scratch is still shared across features: `count_with` is
+        // result-identical to `count`.
         let span = trace.as_mut().map(|t| t.begin("features.vms"));
+        let mut vm = VmCache::new();
         for f in features {
-            emit(f.id, f.count(norm));
+            emit(f.id, f.count_with(norm, &mut vm));
         }
         if let (Some(t), Some(s)) = (trace.as_mut(), span) {
             t.end(s);
@@ -135,25 +225,53 @@ fn count_into_traced(
     }
     let compiled = set.compiled();
     SCRATCH.with(|cell| {
-        let mut bits = cell.borrow_mut();
+        let scratch = &mut *cell.borrow_mut();
+        // The candidate stage keeps its span name across modes so
+        // traces stay comparable (and dashboards keep working): in
+        // fused mode "features.prescan" covers the fused DFA scan
+        // plus the fallback literal scan.
         let span = trace.as_mut().map(|t| t.begin("features.prescan"));
-        let candidates = compiled.candidates_into(norm, &mut bits);
+        let fused_report = if set.match_mode() == MatchMode::Fused {
+            compiled.fused_candidates_into(norm, &mut scratch.bits, &mut scratch.dfa)
+        } else {
+            None
+        };
+        let candidates = match fused_report {
+            Some(_) => 0,
+            // Prescan mode, or a library where nothing fused.
+            None => compiled.candidates_into(norm, &mut scratch.bits),
+        };
         if let (Some(t), Some(s)) = (trace.as_mut(), span) {
             t.end(s);
         }
         let span = trace.as_mut().map(|t| t.begin("features.vms"));
         let mut vm_runs = 0u64;
-        for id in bits.iter() {
-            emit(id, features[id].count(norm));
+        for id in scratch.bits.iter() {
+            emit(id, features[id].count_with(norm, &mut scratch.vm));
             vm_runs += 1;
         }
         if let (Some(t), Some(s)) = (trace.as_mut(), span) {
             t.end(s);
         }
-        ExtractStats {
-            vm_runs,
-            vm_runs_skipped: (compiled.prefiltered_features() - candidates) as u64,
-            prefilter_candidates: candidates as u64,
+        match fused_report {
+            Some(r) => ExtractStats {
+                vm_runs,
+                vm_runs_skipped: features.len() as u64 - vm_runs,
+                prefilter_candidates: (r.fused_matched + r.fallback_candidates) as u64,
+                fused_matched: r.fused_matched as u64,
+                fused_skipped: (compiled.fused_features() - r.fused_matched) as u64,
+                fallback_vm_runs: vm_runs - r.fused_matched as u64,
+                dfa_misses: r.stats.misses as u64,
+                dfa_flushes: r.stats.flushes as u64,
+                dfa_bytes: r.stats.bytes,
+                dfa_states: r.stats.states as u64,
+            },
+            None => ExtractStats {
+                vm_runs,
+                vm_runs_skipped: (compiled.prefiltered_features() - candidates) as u64,
+                prefilter_candidates: candidates as u64,
+                ..ExtractStats::default()
+            },
         }
     })
 }
@@ -348,9 +466,10 @@ mod tests {
     }
 
     #[test]
-    fn prescan_off_path_agrees_with_prescan_on() {
-        let on = FeatureSet::full();
-        let off = on.with_prescan(false);
+    fn all_match_modes_agree() {
+        let fused = FeatureSet::full();
+        let prescan = fused.with_match_mode(MatchMode::Prescan);
+        let naive = fused.with_match_mode(MatchMode::Naive);
         let payloads: &[&[u8]] = &[
             b"id=-1+union+select+1,2,3--",
             b"page=2&sort=asc&term=2012",
@@ -359,9 +478,53 @@ mod tests {
             b"%27%20OR%201=1--",
         ];
         for p in payloads {
-            assert_eq!(extract_row(&on, p), extract_row(&off, p), "{p:?}");
-            assert_eq!(extract_dense(&on, p), extract_dense(&off, p), "{p:?}");
+            let row = extract_row(&fused, p);
+            assert_eq!(row, extract_row(&prescan, p), "{p:?}");
+            assert_eq!(row, extract_row(&naive, p), "{p:?}");
+            let dense = extract_dense(&fused, p);
+            assert_eq!(dense, extract_dense(&prescan, p), "{p:?}");
+            assert_eq!(dense, extract_dense(&naive, p), "{p:?}");
         }
+    }
+
+    #[test]
+    fn fused_mode_runs_vms_only_for_matches_plus_fallback() {
+        let set = FeatureSet::full();
+        assert_eq!(set.match_mode(), MatchMode::Fused);
+        let (row, stats) =
+            extract_row_uncounted(&set, b"id=-1+union+select+1,2,concat(version(),0x3a),4--+-");
+        // Every fused VM run produced a match, so the row cannot be
+        // smaller than the fused-match count.
+        assert_eq!(stats.fused_matched + stats.fallback_vm_runs, stats.vm_runs);
+        assert!(row.len() as u64 >= stats.fused_matched);
+        assert!(stats.dfa_bytes > 0, "{stats:?}");
+        assert!(
+            stats.fused_skip_ratio() > 0.8,
+            "attack fused skip ratio only {:.2} ({stats:?})",
+            stats.fused_skip_ratio()
+        );
+        // Fused mode beats the prescan's candidate count on attack
+        // traffic: exact matches ≤ literal candidates.
+        let (_, prescan_stats) = extract_row_uncounted(
+            &set.with_match_mode(MatchMode::Prescan),
+            b"id=-1+union+select+1,2,concat(version(),0x3a),4--+-",
+        );
+        assert!(
+            stats.vm_runs <= prescan_stats.vm_runs,
+            "fused ran more VMs ({}) than prescan ({})",
+            stats.vm_runs,
+            prescan_stats.vm_runs
+        );
+    }
+
+    #[test]
+    fn warm_dfa_cache_stops_missing() {
+        let set = FeatureSet::full();
+        let payload = b"id=-1+union+select+1,2,3--";
+        let _ = extract_row_uncounted(&set, payload);
+        let (_, warm) = extract_row_uncounted(&set, payload);
+        assert_eq!(warm.dfa_misses, 0, "{warm:?}");
+        assert_eq!(warm.dfa_hit_ratio(), Some(1.0));
     }
 
     #[test]

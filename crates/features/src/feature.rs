@@ -1,7 +1,7 @@
 //! A single counting feature.
 
 use crate::sources::FeatureSource;
-use psigene_regex::{Regex, RegexBuilder};
+use psigene_regex::{Regex, RegexBuilder, VmCache};
 
 /// One feature: a compiled pattern whose non-overlapping match count
 /// over the normalized payload is the feature value (§II-B: "each one
@@ -43,6 +43,14 @@ impl Feature {
     /// non-overlapping matches.
     pub fn count(&self, normalized_payload: &[u8]) -> usize {
         self.regex.count_all(normalized_payload)
+    }
+
+    /// Like [`Feature::count`] but reusing caller-provided VM scratch
+    /// space — identical result, no per-call allocation. The
+    /// extraction hot path shares one cache across every feature it
+    /// counts on a payload.
+    pub fn count_with(&self, normalized_payload: &[u8], cache: &mut VmCache) -> usize {
+        self.regex.count_all_with(normalized_payload, cache)
     }
 
     /// Borrow of the compiled pattern.

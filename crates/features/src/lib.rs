@@ -35,8 +35,8 @@ pub mod set;
 pub mod sources;
 
 pub use feature::Feature;
-pub use prescan::CompiledFeatureSet;
-pub use set::FeatureSet;
+pub use prescan::{CompiledFeatureSet, FusedScanReport};
+pub use set::{FeatureSet, MatchMode};
 pub use sources::FeatureSource;
 
 #[cfg(test)]
@@ -65,19 +65,21 @@ mod proptests {
             prop_assert!(row.iter().all(|&(c, v)| c < set.len() && v >= 1.0));
         }
 
-        /// Prescan soundness (the tentpole invariant): on arbitrary
-        /// byte payloads, candidate-gated extraction produces rows
-        /// *identical* to naive per-feature extraction — same columns
-        /// in the same order with the same counts, not merely the
-        /// same nonzero support.
+        /// Set-level scan soundness (the tentpole invariant): on
+        /// arbitrary byte payloads, every extraction mode — fused
+        /// lazy-DFA (default), literal prescan, and the forced
+        /// always-run oracle — produces rows *identical* to naive
+        /// per-feature extraction: same columns in the same order
+        /// with the same counts, not merely the same nonzero support.
         #[test]
-        fn prescan_extraction_equals_naive_extraction(
+        fn fused_and_prescan_extraction_equal_naive_extraction(
             payload in proptest::collection::vec(any::<u8>(), 0..300),
         ) {
             let set = full_set();
+            // Default mode is Fused.
             let row = extract::extract_row(set, &payload);
             // Naive oracle: every feature's VM runs, no set-level
-            // prescan involved.
+            // engine involved.
             let norm = psigene_http::normalize::normalize(&payload);
             let naive: Vec<(usize, f64)> = set
                 .features()
@@ -96,9 +98,13 @@ mod proptests {
                 .map(|f| f.count(&norm) as f64)
                 .collect();
             prop_assert_eq!(&dense, &naive_dense);
-            // And the forced always-run configuration agrees too.
-            let off = set.with_prescan(false);
-            prop_assert_eq!(&row, &extract::extract_row(&off, &payload));
+            // Every explicit mode agrees bit-for-bit with the fused
+            // default.
+            for mode in [MatchMode::Prescan, MatchMode::Naive] {
+                let alt = set.with_match_mode(mode);
+                prop_assert_eq!(&row, &extract::extract_row(&alt, &payload));
+                prop_assert_eq!(&dense, &extract::extract_dense(&alt, &payload));
+            }
         }
 
         #[test]

@@ -18,10 +18,15 @@
 //! `crate::proptests`.
 
 use crate::feature::Feature;
-use psigene_regex::{CandidateSet, MultiLiteral, MultiLiteralBuilder};
+use psigene_regex::{
+    CandidateSet, DfaCache, FuseOutcome, FusedScanStats, FusedSet, FusedSetBuilder, MultiLiteral,
+    MultiLiteralBuilder,
+};
 
-/// The compiled prescan for one feature set: the shared literal
-/// automaton plus the always-run complement.
+/// The compiled set-level engines for one feature set: the literal
+/// prescan (candidate superset in one pass), and the fused lazy-DFA
+/// automaton (exact match set in one pass) with its VM-fallback
+/// complement.
 #[derive(Clone)]
 pub struct CompiledFeatureSet {
     /// Automaton over every prefilterable feature's literals; `None`
@@ -38,6 +43,37 @@ pub struct CompiledFeatureSet {
     prefiltered: usize,
     /// Total features in the owning set.
     n_features: usize,
+    /// Fused multi-pattern automaton over every fusable feature;
+    /// `None` when nothing fused. Pattern ids are feature ids, so the
+    /// fused scan and the fallback prescan write disjoint ids into
+    /// one shared [`CandidateSet`].
+    fused: Option<FusedSet>,
+    /// Features inside the fused automaton.
+    fused_count: usize,
+    /// Feature ids the fuser refused (kept on the per-feature VM),
+    /// ascending, with the refusal reason.
+    fallback: Vec<(u32, &'static str)>,
+    /// Literal prescan restricted to the fallback features.
+    fallback_engine: Option<MultiLiteral>,
+    /// Pre-set bits for fallback features with no literal requirement
+    /// (the fused-path analog of `base`).
+    fallback_base: CandidateSet,
+    /// Fallback features covered by `fallback_engine`.
+    fallback_prefiltered: usize,
+}
+
+/// What one fused-path candidate scan did; feeds the fused-engine
+/// telemetry in `crate::extract`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FusedScanReport {
+    /// Fused features with at least one match — the *exact* set, so
+    /// their VM runs all produce nonzero counts.
+    pub fused_matched: usize,
+    /// Fallback features flagged by the fallback literal engine
+    /// (excludes the fallback always-run list).
+    pub fallback_candidates: usize,
+    /// Lazy-DFA counters for the scan itself.
+    pub stats: FusedScanStats,
 }
 
 impl CompiledFeatureSet {
@@ -68,12 +104,56 @@ impl CompiledFeatureSet {
         } else {
             Some(builder.build())
         };
+        // Fused automaton: every pattern the fuser accepts, under the
+        // feature's own id. Refused patterns keep the literal-prescan
+        // treatment among themselves; the two id populations are
+        // disjoint, so both engines share one output bitset.
+        let mut fuser = FusedSetBuilder::new();
+        let mut fallback: Vec<(u32, &'static str)> = Vec::new();
+        let mut fallback_builder = MultiLiteralBuilder::new();
+        let mut fallback_base = CandidateSet::new(n);
+        let mut fallback_prefiltered = 0usize;
+        for (i, f) in features.iter().enumerate() {
+            // Features compile case-insensitively (see
+            // `crate::feature::Feature::new`); the fused automaton
+            // must match that.
+            let outcome = fuser
+                .add(i as u32, &f.pattern, true)
+                .expect("feature pattern already compiled once");
+            if let FuseOutcome::Fallback(reason) = outcome {
+                fallback.push((i as u32, reason));
+                match f.regex().prefilter() {
+                    Some(pf) if !pf.literals().is_empty() => {
+                        fallback_prefiltered += 1;
+                        for lit in pf.literals() {
+                            fallback_builder.add(i as u32, lit);
+                        }
+                    }
+                    _ => {
+                        fallback_base.insert(i);
+                    }
+                }
+            }
+        }
+        let fused_count = fuser.len();
+        let fused = fuser.build();
+        let fallback_engine = if fallback_builder.is_empty() {
+            None
+        } else {
+            Some(fallback_builder.build())
+        };
         CompiledFeatureSet {
             engine,
             always_run,
             base,
             prefiltered,
             n_features: n,
+            fused,
+            fused_count,
+            fallback,
+            fallback_engine,
+            fallback_base,
+            fallback_prefiltered,
         }
     }
 
@@ -89,9 +169,56 @@ impl CompiledFeatureSet {
         }
     }
 
+    /// Fills `bits` with the features due a VM run on `norm` using
+    /// the fused engine: the exact fused-feature match set plus the
+    /// fallback features' prescan candidates (always-run included).
+    /// Returns `None` when no feature fused — the caller should take
+    /// the plain prescan path instead.
+    pub fn fused_candidates_into(
+        &self,
+        norm: &[u8],
+        bits: &mut CandidateSet,
+        dfa: &mut DfaCache,
+    ) -> Option<FusedScanReport> {
+        let fused = self.fused.as_ref()?;
+        bits.clone_from(&self.fallback_base);
+        let fallback_candidates = match &self.fallback_engine {
+            None => 0,
+            Some(e) => e.scan_into(norm, bits),
+        };
+        let stats = fused.scan_into(norm, dfa, bits);
+        Some(FusedScanReport {
+            fused_matched: stats.matched as usize,
+            fallback_candidates,
+            stats,
+        })
+    }
+
     /// Feature ids that run unconditionally (no literal requirement).
     pub fn always_run(&self) -> &[u32] {
         &self.always_run
+    }
+
+    /// The fused multi-pattern automaton, when one exists.
+    pub fn fused(&self) -> Option<&FusedSet> {
+        self.fused.as_ref()
+    }
+
+    /// Features inside the fused automaton.
+    pub fn fused_features(&self) -> usize {
+        self.fused_count
+    }
+
+    /// Features the fuser refused, with the per-feature reason; these
+    /// stay on the per-feature VM behind the fallback prescan.
+    pub fn fallback_features(&self) -> &[(u32, &'static str)] {
+        &self.fallback
+    }
+
+    /// Fallback features covered by the fallback literal engine (the
+    /// population the fallback prescan can skip).
+    pub fn fallback_prefiltered(&self) -> usize {
+        self.fallback_prefiltered
     }
 
     /// Number of features the literal engine covers (i.e. skippable).
@@ -117,6 +244,8 @@ impl std::fmt::Debug for CompiledFeatureSet {
             .field("prefiltered", &self.prefiltered)
             .field("always_run", &self.always_run.len())
             .field("engine", &self.engine)
+            .field("fused", &self.fused_count)
+            .field("fallback", &self.fallback.len())
             .finish()
     }
 }
@@ -174,6 +303,72 @@ mod tests {
             c.prefiltered_features(),
             set.len()
         );
+    }
+
+    #[test]
+    fn fused_engine_covers_most_of_the_library() {
+        let set = crate::FeatureSet::full();
+        let c = CompiledFeatureSet::build(set.features());
+        assert_eq!(
+            c.fused_features() + c.fallback_features().len(),
+            set.len(),
+            "every feature must be fused or on the fallback list"
+        );
+        // The point of fusion: the overwhelming majority of the
+        // library must ride the single-pass automaton.
+        assert!(
+            c.fused_features() * 10 >= set.len() * 9,
+            "only {}/{} features fused (fallbacks: {:?})",
+            c.fused_features(),
+            set.len(),
+            c.fallback_features()
+        );
+    }
+
+    #[test]
+    fn fused_scan_is_exact_for_fused_and_sound_for_fallback() {
+        let set = crate::FeatureSet::full();
+        let c = CompiledFeatureSet::build(set.features());
+        let mut on_fallback = vec![false; set.len()];
+        for &(id, _) in c.fallback_features() {
+            on_fallback[id as usize] = true;
+        }
+        let mut bits = CandidateSet::new(0);
+        let mut dfa = psigene_regex::DfaCache::new();
+        let payloads: &[&[u8]] = &[
+            b"id=-1+union+select+1,2,concat(version(),0x3a),4--+-",
+            b"page=2&sort=asc&term=2012",
+            b"q=char(58),char(58)",
+            b"",
+        ];
+        for p in payloads {
+            let report = c
+                .fused_candidates_into(p, &mut bits, &mut dfa)
+                .expect("full library has a fused engine");
+            let mut fused_matched = 0usize;
+            for f in set.features() {
+                let matches = f.count(p) > 0;
+                if on_fallback[f.id] {
+                    // Fallback features keep prescan semantics: a
+                    // superset, never a miss.
+                    assert!(
+                        !matches || bits.contains(f.id),
+                        "fallback feature {} missed on {p:?}",
+                        f.name
+                    );
+                } else {
+                    // Fused features get the exact answer.
+                    assert_eq!(
+                        bits.contains(f.id),
+                        matches,
+                        "fused feature {} wrong on {p:?}",
+                        f.name
+                    );
+                    fused_matched += usize::from(matches);
+                }
+            }
+            assert_eq!(report.fused_matched, fused_matched, "{p:?}");
+        }
     }
 
     #[test]

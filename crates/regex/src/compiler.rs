@@ -14,7 +14,25 @@ pub const DEFAULT_SIZE_LIMIT: usize = 100_000;
 /// Compiles `ast`, failing when the estimated instruction count
 /// exceeds `size_limit`.
 pub fn compile(ast: &Ast, size_limit: usize) -> Result<Program, Error> {
-    let estimated = ast.weight();
+    let mut prog = Program::default();
+    compile_onto(ast, &mut prog, size_limit)?;
+    let mut c = Compiler { prog, size_limit };
+    c.push(Inst::Match)?;
+    c.prog.matches_empty = ast.is_nullable();
+    c.prog.compute_root_plan();
+    Ok(c.prog)
+}
+
+/// Appends the compiled form of `ast` to `prog`, returning the entry
+/// pc. No terminating match instruction is emitted — the caller picks
+/// [`Inst::Match`] or [`Inst::MatchId`] — and `size_limit` bounds the
+/// *total* instruction count of the shared program, so a fused
+/// multi-pattern arena (see `crate::nfa`) can grow one pattern at a
+/// time under a single budget. On error the program may hold a
+/// partial compilation; callers roll back by truncating `insts` (and
+/// `classes`) to their pre-call lengths.
+pub(crate) fn compile_onto(ast: &Ast, prog: &mut Program, size_limit: usize) -> Result<u32, Error> {
+    let estimated = ast.weight().saturating_add(prog.insts.len());
     if estimated > size_limit {
         return Err(Error::new(
             ErrorKind::ProgramTooBig {
@@ -24,15 +42,14 @@ pub fn compile(ast: &Ast, size_limit: usize) -> Result<Program, Error> {
             0,
         ));
     }
+    let entry = prog.insts.len() as u32;
     let mut c = Compiler {
-        prog: Program::default(),
+        prog: std::mem::take(prog),
         size_limit,
     };
-    c.emit(ast)?;
-    c.push(Inst::Match)?;
-    c.prog.matches_empty = ast.is_nullable();
-    c.prog.compute_root_plan();
-    Ok(c.prog)
+    let result = c.emit(ast);
+    *prog = c.prog;
+    result.map(|()| entry)
 }
 
 struct Compiler {

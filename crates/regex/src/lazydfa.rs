@@ -1,0 +1,694 @@
+//! Lazily-determinized execution of a fused multi-pattern NFA.
+//!
+//! [`FusedSet::scan_into`] makes exactly one left-to-right pass over
+//! the haystack and inserts into a [`CandidateSet`] the id of every
+//! pattern with at least one match — the *exact* match set, so the
+//! caller only needs per-pattern VMs to recover match counts for
+//! patterns already known to match.
+//!
+//! # Determinization with deferred closure
+//!
+//! A DFA state is the sorted set of NFA program counters sitting
+//! *after* the consuming instructions taken so far — before epsilon
+//! closure — plus two context bits: whether the previous byte was a
+//! word byte and whether we are at position 0. Closure is deferred to
+//! transition time, when the *next* byte is known, so the assertions
+//! `^`, `$`, `\b`, `\B` resolve from context instead of forcing a
+//! state split per assertion outcome. A `\b`-gated match ending at
+//! position `p` only becomes visible while consuming byte `p` (or at
+//! end of input), which is why match ids are attached to transitions
+//! rather than states.
+//!
+//! Unanchored search re-seeds every pattern's entry point inside every
+//! transition closure; the per-context closure of those entry points
+//! is computed once and cached ([`DfaCache::roots`]), so a transition
+//! miss does not re-walk all patterns.
+//!
+//! # Bounded memory
+//!
+//! States, transitions, and match sets live in a caller-owned
+//! [`DfaCache`] so gateway worker threads reuse one allocation across
+//! requests. The cache holds at most `state_limit` states; on
+//! overflow it is flushed wholesale (the in-flight scan keeps going —
+//! its current state is re-interned) so adversarial state-explosion
+//! inputs degrade to re-determinization, never to unbounded memory.
+//! A cache bound to one [`FusedSet`] (by build token) resets itself
+//! when handed another, which makes hot reload safe by construction.
+
+use crate::multilit::CandidateSet;
+use crate::nfa::{word_byte, FusedSet, MultiNfa};
+use crate::program::Inst;
+use std::collections::HashMap;
+
+/// Sentinel for a not-yet-computed transition. Must be tested before
+/// [`RICH`]: it has the rich bit set but is not a rich index.
+const UNKNOWN: u32 = u32::MAX;
+
+/// Transition-word flag: the low 31 bits index [`DfaCache::rich`]
+/// (transitions that report matches) instead of naming a state.
+const RICH: u32 = 1 << 31;
+
+/// State flag: the previously consumed byte was a word byte.
+const PREV_WORD: u8 = 1;
+
+/// State flag: no byte consumed yet (haystack position 0).
+const AT_START: u8 = 2;
+
+/// Identity of a DFA state: pending (pre-closure) pcs, sorted and
+/// deduplicated, plus the context flags closure will need.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct StateKey {
+    set: Box<[u32]>,
+    flags: u8,
+}
+
+/// Cached epsilon closure of all pattern entry points under one
+/// assertion context.
+#[derive(Debug, Clone, Default)]
+struct RootClosure {
+    /// Consuming instructions reachable from the entries.
+    consuming: Vec<u32>,
+    /// Patterns that match the empty string at such a position.
+    matched: Vec<u32>,
+}
+
+/// Assertion context for one closure computation.
+#[derive(Debug, Clone, Copy)]
+struct Ctx {
+    at_start: bool,
+    at_end: bool,
+    prev_word: bool,
+    next_word: bool,
+}
+
+impl Ctx {
+    /// Index into [`DfaCache::roots`] (at_end contexts are not cached
+    /// there — end-of-input closures are memoized per state instead).
+    fn root_slot(self) -> usize {
+        (self.at_start as usize) << 2 | (self.prev_word as usize) << 1 | self.next_word as usize
+    }
+}
+
+/// Per-scan counters, returned by [`FusedSet::scan_into`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusedScanStats {
+    /// Haystack length, which is also the number of DFA transitions
+    /// taken (plus one end-of-input closure).
+    pub bytes: u64,
+    /// Pattern ids newly inserted into the output set by this scan.
+    pub matched: u32,
+    /// Transitions that were not cached and had to be determinized.
+    pub misses: u32,
+    /// Cache flushes forced by the state limit during this scan.
+    pub flushes: u32,
+    /// States resident in the cache after the scan.
+    pub states: u32,
+}
+
+impl FusedScanStats {
+    /// Fraction of transitions served from the cache, in `[0, 1]`.
+    /// A warmed-up cache sits at 1.0; `None` for empty haystacks.
+    pub fn hit_ratio(&self) -> Option<f64> {
+        if self.bytes == 0 {
+            return None;
+        }
+        Some(1.0 - self.misses as f64 / self.bytes as f64)
+    }
+}
+
+/// Reusable lazy-DFA working memory: the interned states, the
+/// transition table, memoized end-of-input match sets, cached root
+/// closures, and closure scratch space.
+///
+/// A cache belongs to whichever [`FusedSet`] last scanned with it
+/// (tracked by the set's build token) and silently resets when a
+/// different set — e.g. a hot-reloaded automaton — shows up.
+#[derive(Debug, Default)]
+pub struct DfaCache {
+    /// Build token of the owning [`FusedSet`]; 0 = unbound.
+    owner: u64,
+    /// Interned state keys; index = state id.
+    states: Vec<StateKey>,
+    /// Reverse map from key to state id.
+    map: HashMap<StateKey, u32>,
+    /// `trans[id * class_count + class]`: [`UNKNOWN`], a plain next
+    /// state id, or `RICH | index` into [`DfaCache::rich`].
+    trans: Vec<u32>,
+    /// Match-reporting transitions: (next state id, matched pids).
+    rich: Vec<(u32, Box<[u32]>)>,
+    /// Per-state memoized end-of-input match sets.
+    eoi: Vec<Option<Box<[u32]>>>,
+    /// Root closures per assertion context (see [`Ctx::root_slot`]).
+    roots: [Option<RootClosure>; 8],
+    /// Representative byte per equivalence class.
+    reps: Vec<u8>,
+    /// Number of byte equivalence classes.
+    class_count: usize,
+    /// Closure visit marks, one per program instruction.
+    seen: Vec<u64>,
+    /// Current closure generation for [`DfaCache::seen`].
+    generation: u64,
+    /// Closure work stack.
+    stack: Vec<u32>,
+    /// Scratch: consuming pcs of the pending-set closure.
+    consuming_scratch: Vec<u32>,
+    /// Scratch: matched pids of the pending-set closure.
+    matched_scratch: Vec<u32>,
+    /// Lifetime flush count (telemetry).
+    total_flushes: u64,
+}
+
+impl DfaCache {
+    /// An empty, unbound cache.
+    pub fn new() -> DfaCache {
+        DfaCache::default()
+    }
+
+    /// Number of states currently interned.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Cache flushes since creation.
+    pub fn total_flushes(&self) -> u64 {
+        self.total_flushes
+    }
+
+    /// Binds the cache to `set`, dropping everything derived from a
+    /// previous owner.
+    fn bind(&mut self, set: &FusedSet) {
+        self.owner = set.token;
+        self.states.clear();
+        self.map.clear();
+        self.trans.clear();
+        self.rich.clear();
+        self.eoi.clear();
+        self.roots = Default::default();
+        let classes = &set.nfa.classes;
+        self.class_count = classes.count as usize;
+        self.reps.clear();
+        self.reps.resize(self.class_count, 0);
+        let mut filled = vec![false; self.class_count];
+        for b in 0..256u16 {
+            let c = classes.map[b as usize] as usize;
+            if !filled[c] {
+                filled[c] = true;
+                self.reps[c] = b as u8;
+            }
+        }
+        self.seen.clear();
+        self.seen.resize(set.nfa.prog.len(), 0);
+        self.generation = 0;
+        self.intern(start_key());
+    }
+
+    /// Looks up or inserts `key`; does not enforce the state limit.
+    fn intern(&mut self, key: StateKey) -> u32 {
+        if let Some(&id) = self.map.get(&key) {
+            return id;
+        }
+        let id = self.states.len() as u32;
+        self.states.push(key.clone());
+        self.map.insert(key, id);
+        self.trans
+            .extend(std::iter::repeat_n(UNKNOWN, self.class_count));
+        self.eoi.push(None);
+        id
+    }
+
+    /// Drops all states and transitions (keeps root closures — they
+    /// depend only on the owning program) and re-interns the start
+    /// state as id 0.
+    fn flush(&mut self) {
+        self.states.clear();
+        self.map.clear();
+        self.trans.clear();
+        self.rich.clear();
+        self.eoi.clear();
+        self.total_flushes += 1;
+        self.intern(start_key());
+    }
+}
+
+/// The state every scan begins in: nothing pending, position 0.
+fn start_key() -> StateKey {
+    StateKey {
+        set: Box::new([]),
+        flags: AT_START,
+    }
+}
+
+/// Epsilon closure from each pc in `start` under `ctx`, over `nfa`'s
+/// program. Reachable consuming instructions go to `consuming`;
+/// pattern ids whose `MatchId` is reachable go to `matched`. `seen`
+/// marks (against `generation`) prevent revisits; output order is
+/// arbitrary — callers canonicalize.
+#[allow(clippy::too_many_arguments)]
+fn close_collect(
+    nfa: &MultiNfa,
+    start: &[u32],
+    ctx: Ctx,
+    seen: &mut [u64],
+    generation: u64,
+    stack: &mut Vec<u32>,
+    consuming: &mut Vec<u32>,
+    matched: &mut Vec<u32>,
+) {
+    stack.clear();
+    // Reverse keeps low-pc-first exploration; order is irrelevant for
+    // containment but makes traces easier to read.
+    stack.extend(start.iter().rev());
+    while let Some(pc) = stack.pop() {
+        let slot = &mut seen[pc as usize];
+        if *slot == generation {
+            continue;
+        }
+        *slot = generation;
+        match &nfa.prog.insts[pc as usize] {
+            Inst::Jmp(t) => stack.push(*t),
+            Inst::Split(a, b) => {
+                stack.push(*b);
+                stack.push(*a);
+            }
+            Inst::StartText => {
+                if ctx.at_start {
+                    stack.push(pc + 1);
+                }
+            }
+            Inst::EndText => {
+                if ctx.at_end {
+                    stack.push(pc + 1);
+                }
+            }
+            Inst::WordBoundary => {
+                if ctx.prev_word != ctx.next_word {
+                    stack.push(pc + 1);
+                }
+            }
+            Inst::NotWordBoundary => {
+                if ctx.prev_word == ctx.next_word {
+                    stack.push(pc + 1);
+                }
+            }
+            Inst::MatchId(pid) => matched.push(*pid),
+            // Fused programs terminate every pattern with `MatchId`;
+            // a bare `Match` would mean a builder bug.
+            Inst::Match => debug_assert!(false, "Inst::Match in fused program"),
+            Inst::Byte(_) | Inst::Class(_) | Inst::Any | Inst::AnyNoNewline => consuming.push(pc),
+        }
+    }
+}
+
+/// Whether the consuming instruction at `pc` accepts byte `b`.
+fn accepts(nfa: &MultiNfa, pc: u32, b: u8) -> bool {
+    match &nfa.prog.insts[pc as usize] {
+        Inst::Byte(x) => *x == b,
+        Inst::Class(idx) => nfa.prog.classes[*idx as usize].contains(b),
+        Inst::Any => true,
+        Inst::AnyNoNewline => b != b'\n',
+        _ => unreachable!("non-consuming pc in consuming list"),
+    }
+}
+
+impl FusedSet {
+    /// Scans `hay` once and inserts every matching pattern id into
+    /// `out`. Returns per-scan statistics. `cache` may be fresh,
+    /// warm, or previously bound to a different set — all are
+    /// handled; reuse one per worker thread for peak throughput.
+    pub fn scan_into(
+        &self,
+        hay: &[u8],
+        cache: &mut DfaCache,
+        out: &mut CandidateSet,
+    ) -> FusedScanStats {
+        if cache.owner != self.token {
+            cache.bind(self);
+        }
+        let mut stats = FusedScanStats {
+            bytes: hay.len() as u64,
+            ..FusedScanStats::default()
+        };
+        let nc = cache.class_count;
+        let mut cur = 0u32;
+        for &b in hay {
+            let class = self.nfa.classes.map[b as usize] as usize;
+            let mut t = cache.trans[cur as usize * nc + class];
+            if t == UNKNOWN {
+                stats.misses += 1;
+                t = self.compute_transition(cache, cur, class, &mut stats);
+            }
+            if t & RICH != 0 {
+                let (next, pids) = &cache.rich[(t & !RICH) as usize];
+                for &pid in pids.iter() {
+                    if out.insert(pid as usize) {
+                        stats.matched += 1;
+                    }
+                }
+                cur = *next;
+            } else {
+                cur = t;
+            }
+        }
+        self.emit_eoi(cache, cur, out, &mut stats);
+        stats.states = cache.states.len() as u32;
+        stats
+    }
+
+    /// Determinizes one transition: from state `cur` on byte class
+    /// `class`, returning the encoded transition word (also stored in
+    /// the table). May flush the cache, which renumbers `cur` — the
+    /// caller continues from the word's *next* state, which is valid
+    /// either way.
+    fn compute_transition(
+        &self,
+        cache: &mut DfaCache,
+        cur: u32,
+        class: usize,
+        stats: &mut FusedScanStats,
+    ) -> u32 {
+        let src = cache.states[cur as usize].clone();
+        let rep = cache.reps[class];
+        let ctx = Ctx {
+            at_start: src.flags & AT_START != 0,
+            at_end: false,
+            prev_word: src.flags & PREV_WORD != 0,
+            next_word: word_byte(rep),
+        };
+        self.ensure_root(cache, ctx);
+
+        cache.generation += 1;
+        cache.consuming_scratch.clear();
+        cache.matched_scratch.clear();
+        close_collect(
+            &self.nfa,
+            &src.set,
+            ctx,
+            &mut cache.seen,
+            cache.generation,
+            &mut cache.stack,
+            &mut cache.consuming_scratch,
+            &mut cache.matched_scratch,
+        );
+
+        let root = cache.roots[ctx.root_slot()]
+            .as_ref()
+            .expect("root closure just ensured");
+        let mut succ: Vec<u32> =
+            Vec::with_capacity(cache.consuming_scratch.len() + root.consuming.len());
+        for &pc in cache.consuming_scratch.iter().chain(root.consuming.iter()) {
+            if accepts(&self.nfa, pc, rep) {
+                succ.push(pc + 1);
+            }
+        }
+        succ.sort_unstable();
+        succ.dedup();
+        let mut matched: Vec<u32> =
+            Vec::with_capacity(cache.matched_scratch.len() + root.matched.len());
+        matched.extend_from_slice(&cache.matched_scratch);
+        matched.extend_from_slice(&root.matched);
+        matched.sort_unstable();
+        matched.dedup();
+
+        let next_key = StateKey {
+            set: succ.into_boxed_slice(),
+            flags: if ctx.next_word { PREV_WORD } else { 0 },
+        };
+
+        // Enforce the state bound before interning anything new. A
+        // flush invalidates `cur`, so the source state is re-interned
+        // right after the start state.
+        let mut cur = cur;
+        if !cache.map.contains_key(&next_key) && cache.states.len() >= self.state_limit {
+            cache.flush();
+            stats.flushes += 1;
+            cur = cache.intern(src);
+        }
+        let next = cache.intern(next_key);
+
+        let enc = if matched.is_empty() {
+            next
+        } else {
+            let idx = cache.rich.len() as u32;
+            debug_assert!(idx & RICH == 0, "rich table overflow");
+            cache.rich.push((next, matched.into_boxed_slice()));
+            RICH | idx
+        };
+        cache.trans[cur as usize * cache.class_count + class] = enc;
+        enc
+    }
+
+    /// Emits the matches visible at end of input from state `cur`
+    /// (memoized per state).
+    fn emit_eoi(
+        &self,
+        cache: &mut DfaCache,
+        cur: u32,
+        out: &mut CandidateSet,
+        stats: &mut FusedScanStats,
+    ) {
+        if cache.eoi[cur as usize].is_none() {
+            let src = cache.states[cur as usize].clone();
+            let ctx = Ctx {
+                at_start: src.flags & AT_START != 0,
+                at_end: true,
+                prev_word: src.flags & PREV_WORD != 0,
+                next_word: false,
+            };
+            cache.generation += 1;
+            cache.consuming_scratch.clear();
+            cache.matched_scratch.clear();
+            // Pending set and root entries close in one walk; the
+            // consuming output is irrelevant at end of input.
+            let mut starts: Vec<u32> = Vec::with_capacity(src.set.len() + self.nfa.entries.len());
+            starts.extend_from_slice(&src.set);
+            starts.extend_from_slice(&self.nfa.entries);
+            close_collect(
+                &self.nfa,
+                &starts,
+                ctx,
+                &mut cache.seen,
+                cache.generation,
+                &mut cache.stack,
+                &mut cache.consuming_scratch,
+                &mut cache.matched_scratch,
+            );
+            let mut matched = std::mem::take(&mut cache.matched_scratch);
+            matched.sort_unstable();
+            matched.dedup();
+            cache.eoi[cur as usize] = Some(matched.into_boxed_slice());
+        }
+        let pids = cache.eoi[cur as usize].as_ref().expect("just memoized");
+        for &pid in pids.iter() {
+            if out.insert(pid as usize) {
+                stats.matched += 1;
+            }
+        }
+    }
+
+    /// Computes and caches the root closure for `ctx` if absent.
+    fn ensure_root(&self, cache: &mut DfaCache, ctx: Ctx) {
+        let slot = ctx.root_slot();
+        if cache.roots[slot].is_some() {
+            return;
+        }
+        cache.generation += 1;
+        let mut rc = RootClosure::default();
+        close_collect(
+            &self.nfa,
+            &self.nfa.entries,
+            ctx,
+            &mut cache.seen,
+            cache.generation,
+            &mut cache.stack,
+            &mut rc.consuming,
+            &mut rc.matched,
+        );
+        rc.matched.sort_unstable();
+        rc.matched.dedup();
+        cache.roots[slot] = Some(rc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::FusedSetBuilder;
+    use crate::{FuseOutcome, Regex};
+
+    /// Patterns exercising every assertion and instruction kind the
+    /// DFA must agree with the Pike VM on.
+    const LIBRARY: &[&str] = &[
+        r"union\s+select",
+        r"\bor\b",
+        r"\bselect\b",
+        r"[0-9]+",
+        r"^admin",
+        r"--$",
+        r"'[^']*'",
+        r"a*",
+        r"\Bx",
+        r"^$",
+        r"wait\s*for\s*delay",
+        r"(and|or)\s+\d+\s*=\s*\d+",
+    ];
+
+    fn build(patterns: &[&str]) -> (FusedSet, Vec<Regex>) {
+        let mut b = FusedSetBuilder::new();
+        let mut regexes = Vec::new();
+        for (i, pat) in patterns.iter().enumerate() {
+            assert_eq!(
+                b.add(i as u32, pat, true).unwrap(),
+                FuseOutcome::Fused,
+                "library pattern {pat:?} must fuse"
+            );
+            regexes.push(
+                Regex::builder()
+                    .case_insensitive(true)
+                    .prefilter(false)
+                    .build(pat)
+                    .unwrap(),
+            );
+        }
+        (b.build().unwrap(), regexes)
+    }
+
+    fn fused_ids(set: &FusedSet, cache: &mut DfaCache, hay: &[u8]) -> Vec<usize> {
+        let mut out = CandidateSet::new(set.pattern_count());
+        set.scan_into(hay, cache, &mut out);
+        out.iter().collect()
+    }
+
+    fn vm_ids(regexes: &[Regex], hay: &[u8]) -> Vec<usize> {
+        regexes
+            .iter()
+            .enumerate()
+            .filter(|(_, re)| re.is_match(hay))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn fused_matches_equal_per_pattern_vm() {
+        let (set, regexes) = build(LIBRARY);
+        let mut cache = DfaCache::new();
+        let hays: &[&[u8]] = &[
+            b"",
+            b"1 UNION SELECT password",
+            b"1 or 1=1",
+            b"corridor",
+            b"admin' --",
+            b"xadmin",
+            b"and 12 = 12",
+            b"'quoted' OR 'a'='a'",
+            b"WAIT FOR DELAY '0:0:5'",
+            b"or",
+            b"--",
+            b"ADMIN",
+            b"no sql here at all!",
+            b"\n",
+            b"select\nunion select",
+        ];
+        for hay in hays {
+            assert_eq!(
+                fused_ids(&set, &mut cache, hay),
+                vm_ids(&regexes, hay),
+                "haystack {:?}",
+                String::from_utf8_lossy(hay)
+            );
+        }
+    }
+
+    #[test]
+    fn second_scan_is_fully_cached() {
+        let (set, _) = build(LIBRARY);
+        let mut cache = DfaCache::new();
+        let hay = b"id=1 UNION SELECT name FROM users -- or 1=1";
+        let first = fused_ids(&set, &mut cache, hay);
+        let mut out = CandidateSet::new(set.pattern_count());
+        let stats = set.scan_into(hay, &mut cache, &mut out);
+        assert_eq!(stats.misses, 0, "warm cache must not determinize");
+        assert_eq!(stats.hit_ratio(), Some(1.0));
+        let second: Vec<usize> = out.iter().collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn eviction_keeps_results_exact_under_state_explosion() {
+        // Patterns with overlapping classes breed many distinct
+        // pending sets; a tiny limit forces mid-scan flushes.
+        let pats: &[&str] = &[
+            r"[a-m]{3,8}z",
+            r"[g-t]{2,9}y",
+            r"[b-r]{4,7}x",
+            r"\b[a-z]+\d\b",
+            r"(ab|ba|aa|bb){2,6}c",
+        ];
+        let mut b = FusedSetBuilder::new().state_limit(8);
+        let mut regexes = Vec::new();
+        for (i, pat) in pats.iter().enumerate() {
+            assert_eq!(b.add(i as u32, pat, true).unwrap(), FuseOutcome::Fused);
+            regexes.push(
+                Regex::builder()
+                    .case_insensitive(true)
+                    .prefilter(false)
+                    .build(pat)
+                    .unwrap(),
+            );
+        }
+        let set = b.build().unwrap();
+        let mut cache = DfaCache::new();
+        // A pseudo-random-ish alphabet soup long enough to explode.
+        let hay: Vec<u8> = (0u32..4096)
+            .map(|i| {
+                let x = i.wrapping_mul(2654435761) >> 24;
+                b'a' + (x % 26) as u8
+            })
+            .collect();
+        let mut out = CandidateSet::new(set.pattern_count());
+        let stats = set.scan_into(&hay, &mut cache, &mut out);
+        assert!(stats.flushes > 0, "state limit 8 must force flushes");
+        assert!(
+            cache.state_count() <= set.state_limit(),
+            "cache exceeded its bound: {} > {}",
+            cache.state_count(),
+            set.state_limit()
+        );
+        let got: Vec<usize> = out.iter().collect();
+        assert_eq!(got, vm_ids(&regexes, &hay), "flushing changed results");
+    }
+
+    #[test]
+    fn cache_rebinds_across_sets() {
+        let (a, a_regexes) = build(&[r"\bor\b", "admin"]);
+        let (b, b_regexes) = build(&["drop", r"\btable\b"]);
+        let mut cache = DfaCache::new();
+        let hay = b"or drop table admin";
+        // Alternate owners through one cache; each scan must match
+        // its own set's semantics, never the previous owner's.
+        for _ in 0..3 {
+            assert_eq!(fused_ids(&a, &mut cache, hay), vm_ids(&a_regexes, hay));
+            assert_eq!(fused_ids(&b, &mut cache, hay), vm_ids(&b_regexes, hay));
+        }
+    }
+
+    #[test]
+    fn anchors_and_empty_haystacks() {
+        let (set, regexes) = build(&["^$", "^a", "b$", r"^c$"]);
+        let mut cache = DfaCache::new();
+        for hay in [&b""[..], b"a", b"b", b"c", b"ab", b"ba", b"cc", b"a\nb"] {
+            assert_eq!(
+                fused_ids(&set, &mut cache, hay),
+                vm_ids(&regexes, hay),
+                "haystack {hay:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn nullable_pattern_matches_everywhere() {
+        let (set, _) = build(&["z*"]);
+        let mut cache = DfaCache::new();
+        assert_eq!(fused_ids(&set, &mut cache, b""), vec![0]);
+        assert_eq!(fused_ids(&set, &mut cache, b"qqq"), vec![0]);
+    }
+}

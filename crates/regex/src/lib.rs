@@ -19,6 +19,11 @@
 //!   ASCII-case-folded Aho–Corasick automaton over every pattern's
 //!   required literals answers "which of these N patterns could
 //!   match?" in one haystack pass instead of N.
+//! * [`FusedSet`] goes further: a whole pattern library fused into
+//!   one multi-pattern NFA, executed as a lazily-determinized DFA
+//!   ([`FusedSet::scan_into`]), reports the *exact* set of matching
+//!   patterns — not candidates — in one haystack pass, so per-pattern
+//!   VMs only run to count matches for patterns known to match.
 //!
 //! # Example
 //!
@@ -40,7 +45,9 @@ mod ast;
 mod classes;
 mod compiler;
 mod error;
+mod lazydfa;
 mod multilit;
+mod nfa;
 mod parser;
 mod prefilter;
 mod program;
@@ -48,7 +55,9 @@ mod vm;
 
 pub use crate::classes::{ByteRange, ClassSet};
 pub use crate::error::{Error, ErrorKind};
+pub use crate::lazydfa::{DfaCache, FusedScanStats};
 pub use crate::multilit::{CandidateSet, MultiLiteral, MultiLiteralBuilder};
+pub use crate::nfa::{FuseOutcome, FusedSet, FusedSetBuilder};
 pub use crate::prefilter::Prefilter;
 pub use crate::vm::VmCache;
 
@@ -225,7 +234,9 @@ impl Regex {
     /// Like [`Regex::find_at`] but reusing caller-provided scratch
     /// space; use this in match loops.
     pub fn find_at_with(&self, hay: &[u8], start: usize, cache: &mut vm::VmCache) -> Option<Match> {
-        vm::find_at(&self.prog, hay, start, cache).map(|Span { start, end }| Match { start, end })
+        let skip = self.prefilter.as_ref().and_then(|pf| pf.prefix_skip());
+        vm::find_at(&self.prog, skip, hay, start, cache)
+            .map(|Span { start, end }| Match { start, end })
     }
 
     /// Iterates over non-overlapping matches, leftmost-first.
@@ -248,7 +259,32 @@ impl Regex {
     /// This is the primitive pSigene features are built on: every
     /// feature value is `count_all(feature_pattern, request)`.
     pub fn count_all(&self, hay: &[u8]) -> usize {
-        self.find_iter(hay).count()
+        let mut cache = vm::VmCache::new();
+        self.count_all_with(hay, &mut cache)
+    }
+
+    /// Like [`Regex::count_all`] but reusing caller-provided scratch
+    /// space; use this when counting many patterns over one payload
+    /// (the feature-extraction hot path). Identical semantics to
+    /// `count_all`: non-overlapping, leftmost-first, zero-width
+    /// matches advance the scan position by one.
+    pub fn count_all_with(&self, hay: &[u8], cache: &mut vm::VmCache) -> usize {
+        if let Some(pf) = &self.prefilter {
+            if !pf.maybe_matches(hay) {
+                return 0;
+            }
+        }
+        let mut n = 0;
+        let mut next_start = 0;
+        while next_start <= hay.len() {
+            let Some(m) = self.find_at_with(hay, next_start, cache) else {
+                break;
+            };
+            n += 1;
+            // Zero-width matches must still advance the scan position.
+            next_start = if m.end == m.start { m.end + 1 } else { m.end };
+        }
+        n
     }
 }
 

@@ -25,6 +25,13 @@ use std::collections::VecDeque;
 const MISSING: u32 = u32::MAX;
 
 /// A growable bitset over pattern ids, reused across scans.
+///
+/// This is the shared output currency of every set-level engine:
+/// [`MultiLiteral::scan_into`] and the fused lazy DFA
+/// (`crate::FusedSet::scan_into`) both insert into one caller-owned
+/// instance — their id populations are disjoint by construction in
+/// the feature layer — so an extraction needs exactly one bitset
+/// scratch allocation regardless of how many engines run.
 #[derive(Debug, Default, PartialEq, Eq)]
 pub struct CandidateSet {
     bits: Vec<u64>,

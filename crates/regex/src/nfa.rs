@@ -1,0 +1,376 @@
+//! A multi-pattern NFA sharing one instruction arena.
+//!
+//! [`FusedSetBuilder`] Thompson-compiles every fusable pattern of a
+//! library into a single [`Program`] (the arena — instructions and
+//! interned character classes are shared across patterns), each
+//! pattern ending in an [`Inst::MatchId`] carrying its caller-chosen
+//! pattern id. The result, a [`FusedSet`], is executed by the lazy
+//! DFA in `crate::lazydfa`: one left-to-right pass over a haystack
+//! reports *exactly* the set of patterns with at least one match —
+//! not a superset like the literal prefilter, the true match set.
+//!
+//! Not every pattern goes in. Patterns whose counted repetitions
+//! would expand into large programs (and with them large DFA state
+//! sets) are refused with [`FuseOutcome::Fallback`] so the caller
+//! keeps them on the per-pattern Pike VM; the contract is that the
+//! fused scan plus the fallback list together cover the library.
+
+use crate::ast::Ast;
+use crate::compiler;
+use crate::error::Error;
+use crate::parser::{self, Flags};
+use crate::program::{Inst, Program};
+use crate::vm::is_word_byte;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-pattern ceiling on the expanded AST weight; above it the
+/// compiled form (and the DFA state sets it induces) is too large to
+/// fuse profitably.
+const FUSE_WEIGHT_LIMIT: usize = 512;
+
+/// Counted repetitions beyond this bound stay on the VM: `a{40}`
+/// expands into 40 copies whose positional progress the DFA would
+/// have to track as distinct states.
+const FUSE_REP_LIMIT: u32 = 16;
+
+/// Total instruction budget for the shared arena.
+const FUSE_PROGRAM_LIMIT: usize = 1 << 20;
+
+/// Default bound on cached DFA states (see `crate::lazydfa`).
+const DEFAULT_STATE_LIMIT: usize = 4096;
+
+/// Whether [`FusedSetBuilder::add`] accepted a pattern into the fused
+/// NFA or refused it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FuseOutcome {
+    /// The pattern is part of the fused automaton.
+    Fused,
+    /// The pattern must stay on the per-pattern VM; the payload is a
+    /// human-readable reason.
+    Fallback(&'static str),
+}
+
+/// The internal multi-pattern NFA: the shared program arena plus the
+/// per-pattern entry points and the byte equivalence classes the DFA
+/// scans over.
+#[derive(Debug, Clone)]
+pub(crate) struct MultiNfa {
+    /// Shared instruction arena; every pattern ends in
+    /// [`Inst::MatchId`].
+    pub(crate) prog: Program,
+    /// Entry pc of each fused pattern (the DFA re-seeds all of them
+    /// at every haystack position for unanchored search).
+    pub(crate) entries: Vec<u32>,
+    /// Byte → equivalence class, refined so that two bytes in one
+    /// class are indistinguishable to every instruction *and* to the
+    /// word-boundary predicate.
+    pub(crate) classes: ByteClasses,
+}
+
+/// Byte equivalence classes over the whole arena.
+#[derive(Debug, Clone)]
+pub(crate) struct ByteClasses {
+    /// Byte value → class index.
+    pub(crate) map: [u8; 256],
+    /// Number of classes (≤ 256).
+    pub(crate) count: u16,
+}
+
+impl ByteClasses {
+    /// Computes the coarsest partition of byte values that every
+    /// instruction of `prog` (and `\b`'s word/non-word split) cannot
+    /// tell apart. The DFA transition table is indexed by class, so a
+    /// smaller partition means proportionally less cache memory.
+    fn from_program(prog: &Program) -> ByteClasses {
+        // `boundary[b]` marks the start of a new run at byte b.
+        let mut boundary = [false; 257];
+        boundary[0] = true;
+        let mut split = |lo: u8, hi: u8| {
+            boundary[lo as usize] = true;
+            boundary[hi as usize + 1] = true;
+        };
+        // Word-ness participates in closure decisions (`\b`, `\B`).
+        for (lo, hi) in [(b'0', b'9'), (b'A', b'Z'), (b'_', b'_'), (b'a', b'z')] {
+            split(lo, hi);
+        }
+        for inst in &prog.insts {
+            match inst {
+                Inst::Byte(b) => split(*b, *b),
+                Inst::AnyNoNewline => split(b'\n', b'\n'),
+                _ => {}
+            }
+        }
+        for class in &prog.classes {
+            for r in class.ranges() {
+                split(r.lo, r.hi);
+            }
+        }
+        let mut map = [0u8; 256];
+        let mut current = 0usize;
+        for b in 0..256 {
+            if b > 0 && boundary[b] {
+                current += 1;
+            }
+            map[b] = current as u8;
+        }
+        ByteClasses {
+            map,
+            count: (current + 1) as u16,
+        }
+    }
+}
+
+/// Accumulates patterns into the fused NFA. See the module docs.
+#[derive(Debug)]
+pub struct FusedSetBuilder {
+    prog: Program,
+    entries: Vec<u32>,
+    pattern_count: usize,
+    state_limit: usize,
+}
+
+impl Default for FusedSetBuilder {
+    fn default() -> FusedSetBuilder {
+        FusedSetBuilder::new()
+    }
+}
+
+impl FusedSetBuilder {
+    /// An empty builder with the default DFA state budget.
+    pub fn new() -> FusedSetBuilder {
+        FusedSetBuilder {
+            prog: Program::default(),
+            entries: Vec::new(),
+            pattern_count: 0,
+            state_limit: DEFAULT_STATE_LIMIT,
+        }
+    }
+
+    /// Caps the number of lazily-determinized DFA states a cache may
+    /// hold before it is flushed (memory bound under adversarial
+    /// inputs). Clamped to at least 8 so mid-scan flushes can always
+    /// retain the in-flight state.
+    pub fn state_limit(mut self, limit: usize) -> FusedSetBuilder {
+        self.state_limit = limit.max(8);
+        self
+    }
+
+    /// Tries to fuse `pattern` under id `pid` (ids must be unique per
+    /// builder; the feature library uses feature indices). Returns
+    /// [`FuseOutcome::Fallback`] — leaving the builder unchanged —
+    /// when the pattern is valid but unfusable, and `Err` only when
+    /// the pattern does not parse at all.
+    pub fn add(
+        &mut self,
+        pid: u32,
+        pattern: &str,
+        case_insensitive: bool,
+    ) -> Result<FuseOutcome, Error> {
+        let flags = Flags {
+            case_insensitive,
+            dot_matches_newline: false,
+        };
+        let ast = parser::parse(pattern, flags)?;
+        if let Some(reason) = fallback_reason(&ast) {
+            return Ok(FuseOutcome::Fallback(reason));
+        }
+        let insts_mark = self.prog.insts.len();
+        let classes_mark = self.prog.classes.len();
+        match compiler::compile_onto(&ast, &mut self.prog, FUSE_PROGRAM_LIMIT) {
+            Ok(entry) => {
+                self.prog.insts.push(Inst::MatchId(pid));
+                self.entries.push(entry);
+                self.pattern_count += 1;
+                Ok(FuseOutcome::Fused)
+            }
+            Err(_) => {
+                // Roll back the partial compilation; classes interned
+                // before this pattern are untouched (truncation only
+                // drops ones referenced by the dropped instructions).
+                self.prog.insts.truncate(insts_mark);
+                self.prog.classes.truncate(classes_mark);
+                Ok(FuseOutcome::Fallback("shared arena budget exhausted"))
+            }
+        }
+    }
+
+    /// Number of patterns fused so far.
+    pub fn len(&self) -> usize {
+        self.pattern_count
+    }
+
+    /// True when nothing has been fused.
+    pub fn is_empty(&self) -> bool {
+        self.pattern_count == 0
+    }
+
+    /// Finalizes the NFA; `None` when no pattern was fused.
+    pub fn build(self) -> Option<FusedSet> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        // Distinct token per built automaton: a `DfaCache` notices
+        // when it is handed a different set (hot reload) and resets
+        // instead of serving stale states.
+        static TOKEN: AtomicU64 = AtomicU64::new(1);
+        let classes = ByteClasses::from_program(&self.prog);
+        Some(FusedSet {
+            nfa: MultiNfa {
+                prog: self.prog,
+                entries: self.entries,
+                classes,
+            },
+            pattern_count: self.pattern_count,
+            state_limit: self.state_limit,
+            token: TOKEN.fetch_add(1, Ordering::Relaxed),
+        })
+    }
+}
+
+/// Decides fusability from the parsed AST; `Some(reason)` routes the
+/// pattern to the VM fallback list.
+fn fallback_reason(ast: &Ast) -> Option<&'static str> {
+    if ast.weight() > FUSE_WEIGHT_LIMIT {
+        return Some("expanded program too large to fuse");
+    }
+    if has_large_counted_rep(ast) {
+        return Some("bounded repetition count beyond fuse limit");
+    }
+    None
+}
+
+/// True when any counted repetition exceeds [`FUSE_REP_LIMIT`].
+fn has_large_counted_rep(ast: &Ast) -> bool {
+    match ast {
+        Ast::Repeat { ast, min, max, .. } => {
+            *min > FUSE_REP_LIMIT
+                || max.is_some_and(|m| m > FUSE_REP_LIMIT)
+                || has_large_counted_rep(ast)
+        }
+        Ast::Concat(parts) | Ast::Alternate(parts) => parts.iter().any(has_large_counted_rep),
+        Ast::Group(inner) => has_large_counted_rep(inner),
+        _ => false,
+    }
+}
+
+/// A compiled fused multi-pattern set: the shared NFA plus the lazy
+/// DFA configuration. Scanning lives in `crate::lazydfa` and needs a
+/// caller-provided [`crate::DfaCache`].
+#[derive(Debug, Clone)]
+pub struct FusedSet {
+    pub(crate) nfa: MultiNfa,
+    pattern_count: usize,
+    pub(crate) state_limit: usize,
+    pub(crate) token: u64,
+}
+
+impl FusedSet {
+    /// Number of fused patterns.
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_count
+    }
+
+    /// Instructions in the shared arena (a size proxy).
+    pub fn program_len(&self) -> usize {
+        self.nfa.prog.len()
+    }
+
+    /// Byte equivalence classes the DFA scans over.
+    pub fn byte_class_count(&self) -> usize {
+        self.nfa.classes.count as usize
+    }
+
+    /// The DFA state-cache bound in force.
+    pub fn state_limit(&self) -> usize {
+        self.state_limit
+    }
+}
+
+/// Word-ness of a byte, re-exported for the DFA's context bits.
+pub(crate) fn word_byte(b: u8) -> bool {
+    is_word_byte(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_fuses_ids_patterns() {
+        let mut b = FusedSetBuilder::new();
+        for (i, pat) in [r"union\s+select", r"\bor\b", r"[0-9]+", "^admin", "--$"]
+            .iter()
+            .enumerate()
+        {
+            assert_eq!(b.add(i as u32, pat, true).unwrap(), FuseOutcome::Fused);
+        }
+        let set = b.build().expect("non-empty");
+        assert_eq!(set.pattern_count(), 5);
+        assert!(set.program_len() > 5);
+        assert!(set.byte_class_count() >= 4);
+        assert!(set.byte_class_count() <= 256);
+    }
+
+    #[test]
+    fn large_counted_repetition_falls_back() {
+        let mut b = FusedSetBuilder::new();
+        assert!(matches!(
+            b.add(0, "a{200}", false).unwrap(),
+            FuseOutcome::Fallback(_)
+        ));
+        assert!(matches!(
+            b.add(1, "(abcdefgh){100}", false).unwrap(),
+            FuseOutcome::Fallback(_)
+        ));
+        // Small counted reps fuse fine.
+        assert_eq!(b.add(2, "a{2,4}", false).unwrap(), FuseOutcome::Fused);
+        assert!(b.build().is_some());
+    }
+
+    #[test]
+    fn invalid_pattern_is_an_error_not_a_fallback() {
+        let mut b = FusedSetBuilder::new();
+        assert!(b.add(0, "(unclosed", false).is_err());
+    }
+
+    #[test]
+    fn empty_builder_builds_none() {
+        assert!(FusedSetBuilder::new().build().is_none());
+    }
+
+    #[test]
+    fn byte_classes_split_word_and_literal_bytes() {
+        let mut b = FusedSetBuilder::new();
+        b.add(0, "select", true).unwrap();
+        let set = b.build().unwrap();
+        let c = &set.nfa.classes;
+        // 's' and 'e' are distinct literal bytes → distinct classes.
+        assert_ne!(c.map[b's' as usize], c.map[b'e' as usize]);
+        // Case folding put both cases in the pattern's classes.
+        assert_eq!(
+            c.map[b'S' as usize] != c.map[b'0' as usize],
+            true,
+            "letters and digits must not share a class (word-ness aside, 'S' is a pattern byte)"
+        );
+        // Two never-referenced non-word bytes share a class.
+        assert_eq!(c.map[0x01], c.map[0x02]);
+        // Word vs non-word bytes never share a class.
+        assert_ne!(c.map[b'9' as usize], c.map[b'!' as usize]);
+    }
+
+    #[test]
+    fn tokens_are_distinct_per_build() {
+        let build = || {
+            let mut b = FusedSetBuilder::new();
+            b.add(0, "x", false).unwrap();
+            b.build().unwrap()
+        };
+        assert_ne!(build().token, build().token);
+    }
+
+    #[test]
+    fn state_limit_is_clamped() {
+        let b = FusedSetBuilder::new().state_limit(1);
+        assert_eq!(b.state_limit, 8);
+    }
+}

@@ -32,6 +32,52 @@ pub struct Prefilter {
     /// pass over the haystack checks only the candidates that can
     /// start at each position (a poor man's Aho–Corasick).
     buckets: Option<Box<[Vec<u32>; 256]>>,
+    /// Prefix skipper, when every match must *begin* with a known
+    /// literal.
+    prefixes: Option<PrefixSkip>,
+}
+
+/// Start-anchored literal requirement: every match of the pattern
+/// begins (byte-wise, ASCII case-insensitively) with one of `lits`.
+/// The VM uses it to jump between candidate start positions instead of
+/// seeding a doomed root thread at every byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixSkip {
+    /// Candidate prefixes, lowercased, all non-empty.
+    lits: Vec<Vec<u8>>,
+    /// `first[b]` is true when some prefix starts with byte `b` (both
+    /// cases), so the scan loop is a table lookup per byte.
+    first: Box<[bool; 256]>,
+}
+
+impl PrefixSkip {
+    fn new(lits: Vec<Vec<u8>>) -> PrefixSkip {
+        let mut first = Box::new([false; 256]);
+        for lit in &lits {
+            first[lit[0] as usize] = true;
+            first[lit[0].to_ascii_uppercase() as usize] = true;
+        }
+        PrefixSkip { lits, first }
+    }
+
+    /// The earliest position `q >= start` where a match could begin
+    /// (i.e. some prefix literal occurs at `q`), or `None` when no
+    /// match can start anywhere in `hay[start..]`.
+    pub fn next_match_start(&self, hay: &[u8], start: usize) -> Option<usize> {
+        let mut q = start;
+        while q < hay.len() {
+            if self.first[hay[q] as usize] {
+                let rest = &hay[q..];
+                for lit in &self.lits {
+                    if lit.len() <= rest.len() && rest[..lit.len()].eq_ignore_ascii_case(lit) {
+                        return Some(q);
+                    }
+                }
+            }
+            q += 1;
+        }
+        None
+    }
 }
 
 impl Prefilter {
@@ -61,10 +107,20 @@ impl Prefilter {
         } else {
             None
         };
+        let prefixes = prefix_literals(ast)
+            .filter(|p| !p.is_empty() && p.len() <= MAX_LITERALS)
+            .map(PrefixSkip::new);
         Some(Prefilter {
             literals: lits,
             buckets,
+            prefixes,
         })
+    }
+
+    /// The start-anchored skipper, when every match must begin with a
+    /// known literal.
+    pub fn prefix_skip(&self) -> Option<&PrefixSkip> {
+        self.prefixes.as_ref()
     }
 
     /// True when the haystack may match the pattern (i.e. it contains
@@ -225,6 +281,108 @@ fn required_literals(ast: &Ast) -> Option<Vec<Vec<u8>>> {
     }
 }
 
+/// Longest fixed prefix run worth accumulating; longer prefixes add
+/// verification cost without improving skip precision.
+const MAX_PREFIX_LEN: usize = 16;
+
+/// Computes the start-anchored literal disjunction: a set `P` such
+/// that every match of `ast` is non-empty and begins (ASCII
+/// case-insensitively) with some element of `P`. Returns `None` when
+/// no such set exists (e.g. the pattern can match the empty string or
+/// starts with an open class).
+fn prefix_literals(ast: &Ast) -> Option<Vec<Vec<u8>>> {
+    match ast {
+        // Zero-width (or empty-capable) patterns have no first byte.
+        Ast::Empty
+        | Ast::StartText
+        | Ast::EndText
+        | Ast::WordBoundary
+        | Ast::NotWordBoundary
+        | Ast::Dot { .. } => None,
+        Ast::Literal(b) => Some(vec![vec![b.to_ascii_lowercase()]]),
+        Ast::Class(set) => literal_byte_of_class(set).map(|b| vec![vec![b]]),
+        Ast::Group(inner) => prefix_literals(inner),
+        // One mandatory iteration starts the match; min == 0 can match
+        // empty, so it contributes no requirement on its own.
+        Ast::Repeat { ast, min, .. } => {
+            if *min >= 1 {
+                prefix_literals(ast)
+            } else {
+                None
+            }
+        }
+        Ast::Alternate(branches) => {
+            let mut all = Vec::new();
+            for b in branches {
+                let mut lits = prefix_literals(b)?;
+                all.append(&mut lits);
+                if all.len() > MAX_LITERALS {
+                    return None;
+                }
+            }
+            Some(all)
+        }
+        Ast::Concat(parts) => concat_prefix_literals(parts),
+    }
+}
+
+/// Prefix requirement of a concatenation: leading zero-width
+/// assertions are skipped, then either a fixed literal run is
+/// accumulated or the first consuming part's own requirement is taken.
+fn concat_prefix_literals(parts: &[Ast]) -> Option<Vec<Vec<u8>>> {
+    let mut run: Vec<u8> = Vec::new();
+    for (i, part) in parts.iter().enumerate() {
+        if matches!(
+            part,
+            Ast::Empty | Ast::StartText | Ast::EndText | Ast::WordBoundary | Ast::NotWordBoundary
+        ) {
+            continue;
+        }
+        if let Some(b) = fixed_byte(part) {
+            run.push(b);
+            if run.len() >= MAX_PREFIX_LEN {
+                return Some(vec![run]);
+            }
+            continue;
+        }
+        // First non-fixed part: a fixed run already pins the prefix.
+        if !run.is_empty() {
+            return Some(vec![run]);
+        }
+        return match part {
+            // An optional head: the match starts with the head (one or
+            // more iterations) or with whatever follows it (zero).
+            Ast::Repeat {
+                ast: inner, min: 0, ..
+            } => {
+                let mut all = prefix_literals(inner)?;
+                all.extend(concat_prefix_literals(&parts[i + 1..])?);
+                if all.len() > MAX_LITERALS {
+                    None
+                } else {
+                    Some(all)
+                }
+            }
+            _ => prefix_literals(part),
+        };
+    }
+    if run.is_empty() {
+        None
+    } else {
+        Some(vec![run])
+    }
+}
+
+/// The single byte a part always matches (lowercased), if any.
+fn fixed_byte(part: &Ast) -> Option<u8> {
+    match part {
+        Ast::Literal(b) => Some(b.to_ascii_lowercase()),
+        Ast::Class(set) => literal_byte_of_class(set),
+        Ast::Group(inner) => fixed_byte(inner),
+        _ => None,
+    }
+}
+
 /// If the class matches exactly one byte — or exactly the upper/lower
 /// pair of one ASCII letter — returns the lowercase byte.
 fn literal_byte_of_class(set: &crate::classes::ClassSet) -> Option<u8> {
@@ -324,6 +482,76 @@ mod tests {
         assert!(!contains_ascii_ci(b"sssSELEC", b"select"));
         assert!(contains_ascii_ci(b"SsSeLeCt", b"select"));
         assert!(!contains_ascii_ci(b"zzzz", b"a"));
+    }
+
+    fn prefixes(pat: &str) -> Option<Vec<Vec<u8>>> {
+        let flags = Flags {
+            case_insensitive: true,
+            ..Flags::default()
+        };
+        prefix_literals(&parse(pat, flags).expect("parse"))
+    }
+
+    #[test]
+    fn prefix_of_literal_run() {
+        assert_eq!(prefixes("select"), Some(vec![b"select".to_vec()]));
+        // A non-fixed tail does not extend the prefix but keeps it.
+        assert_eq!(prefixes(r"select.+from"), Some(vec![b"select".to_vec()]));
+        assert_eq!(prefixes(r"length\s*\("), Some(vec![b"length".to_vec()]));
+    }
+
+    #[test]
+    fn leading_assertions_are_skipped() {
+        assert_eq!(prefixes(r"\bselect\b"), Some(vec![b"select".to_vec()]));
+        assert_eq!(prefixes("^union"), Some(vec![b"union".to_vec()]));
+    }
+
+    #[test]
+    fn alternation_unions_prefixes() {
+        let p = prefixes("select|insert").expect("prefixes");
+        assert_eq!(p, vec![b"select".to_vec(), b"insert".to_vec()]);
+        // One open branch poisons the requirement.
+        assert_eq!(prefixes(r"select|[0-9]+"), None);
+    }
+
+    #[test]
+    fn optional_head_unions_with_rest() {
+        // `x*` may match zero times, so the match can start with `x`
+        // (one-plus iterations) or with `ab` (zero iterations).
+        let p = prefixes("x*ab").expect("prefixes");
+        assert_eq!(p, vec![b"x".to_vec(), b"ab".to_vec()]);
+        // An open optional head gives up.
+        assert_eq!(prefixes(r"\s*ab"), None);
+    }
+
+    #[test]
+    fn empty_capable_patterns_have_no_prefix() {
+        assert_eq!(prefixes(r"a*"), None);
+        assert_eq!(prefixes(""), None);
+        assert_eq!(prefixes(r"\b"), None);
+    }
+
+    #[test]
+    fn next_match_start_jumps_case_insensitively() {
+        let p = pf_ci(r"\bselect\b").expect("prefilter");
+        let skip = p.prefix_skip().expect("prefix skip");
+        let hay = b"x=1 or SELECT a, select b";
+        assert_eq!(skip.next_match_start(hay, 0), Some(7));
+        assert_eq!(skip.next_match_start(hay, 8), Some(17));
+        assert_eq!(skip.next_match_start(hay, 18), None);
+        assert_eq!(skip.next_match_start(hay, hay.len()), None);
+    }
+
+    #[test]
+    fn skipping_patterns_still_count_correctly() {
+        // End-to-end through the VM: the skip must not change counts.
+        let re = crate::RegexBuilder::new()
+            .case_insensitive(true)
+            .build(r"\bselect\b")
+            .expect("build");
+        assert_eq!(re.count_all(b"select from (select) reselect"), 2);
+        assert_eq!(re.count_all(b"selec"), 0);
+        assert_eq!(re.count_all(b""), 0);
     }
 
     #[test]

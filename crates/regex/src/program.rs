@@ -29,6 +29,10 @@ pub enum Inst {
     NotWordBoundary,
     /// Report a match ending at the current position.
     Match,
+    /// Report a match of one pattern of a fused multi-pattern program
+    /// (see `crate::nfa`). Single-pattern programs never contain it;
+    /// the VM treats it exactly like [`Inst::Match`].
+    MatchId(u32),
 }
 
 /// A compiled pattern: an instruction list plus a table of character
@@ -96,7 +100,8 @@ impl Program {
                 | Inst::EndText
                 | Inst::WordBoundary
                 | Inst::NotWordBoundary
-                | Inst::Match => return,
+                | Inst::Match
+                | Inst::MatchId(_) => return,
                 _ => consuming.push(pc),
             }
         }
@@ -166,6 +171,7 @@ impl fmt::Display for Program {
                 Inst::WordBoundary => writeln!(f, "{i:04} \\b")?,
                 Inst::NotWordBoundary => writeln!(f, "{i:04} \\B")?,
                 Inst::Match => writeln!(f, "{i:04} match")?,
+                Inst::MatchId(p) => writeln!(f, "{i:04} match #{p}")?,
             }
         }
         Ok(())

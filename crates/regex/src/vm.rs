@@ -6,6 +6,7 @@
 //! greedy/lazy preferences are honored) in `O(haystack × program)`
 //! time with no backtracking blow-up.
 
+use crate::prefilter::PrefixSkip;
 use crate::program::{Inst, Program};
 
 /// A matched span, `start..end` byte offsets into the haystack.
@@ -79,7 +80,20 @@ impl ThreadList {
 
 /// Runs a leftmost-first search over `hay[start..]`, returning the
 /// first (leftmost) match span.
-pub fn find_at(prog: &Program, hay: &[u8], start: usize, cache: &mut VmCache) -> Option<Span> {
+///
+/// `skip`, when present, is the pattern's start-anchored literal
+/// requirement: no match can begin at a position where none of its
+/// prefixes occurs. With nothing in flight the scan jumps straight to
+/// the next candidate position instead of seeding (and burying) a
+/// root thread at every byte — the result is byte-identical because
+/// skipped roots are exactly the ones that can never reach a match.
+pub fn find_at(
+    prog: &Program,
+    skip: Option<&PrefixSkip>,
+    hay: &[u8],
+    start: usize,
+    cache: &mut VmCache,
+) -> Option<Span> {
     if prog.is_empty() || start > hay.len() {
         return None;
     }
@@ -91,6 +105,14 @@ pub fn find_at(prog: &Program, hay: &[u8], start: usize, cache: &mut VmCache) ->
 
     let mut pos = start;
     loop {
+        if matched.is_none() && cache.clist.dense.is_empty() {
+            if let Some(skip) = skip {
+                match skip.next_match_start(hay, pos) {
+                    Some(q) => pos = q,
+                    None => return None,
+                }
+            }
+        }
         // While no match is committed, a fresh root thread is added at
         // every position. Appending at the end gives earlier starts
         // higher priority, which is exactly the leftmost rule. With a
@@ -169,7 +191,7 @@ pub fn find_at(prog: &Program, hay: &[u8], start: usize, cache: &mut VmCache) ->
                         );
                     }
                 }
-                Inst::Match => {
+                Inst::Match | Inst::MatchId(_) => {
                     // This thread matched. Lower-priority threads (later
                     // in the list) are cut; surviving higher-priority
                     // threads may still override with a better match.
@@ -297,8 +319,9 @@ fn add_thread(
     }
 }
 
-/// ASCII word byte: letter, digit or underscore.
-fn is_word_byte(b: u8) -> bool {
+/// ASCII word byte: letter, digit or underscore. Shared with the
+/// lazy DFA so both engines resolve `\b` identically.
+pub(crate) fn is_word_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
@@ -322,7 +345,7 @@ mod tests {
         let ast = parse(pat, Flags::default()).expect("parse");
         let prog = compile(&ast, DEFAULT_SIZE_LIMIT).expect("compile");
         let mut cache = VmCache::new();
-        find_at(&prog, hay.as_bytes(), 0, &mut cache).map(|s| (s.start, s.end))
+        find_at(&prog, None, hay.as_bytes(), 0, &mut cache).map(|s| (s.start, s.end))
     }
 
     #[test]
@@ -404,9 +427,9 @@ mod tests {
         let mut cache = VmCache::new();
         let hay = b"abca";
         assert_eq!(
-            find_at(&prog, hay, 1, &mut cache).map(|s| (s.start, s.end)),
+            find_at(&prog, None, hay, 1, &mut cache).map(|s| (s.start, s.end)),
             Some((3, 4))
         );
-        assert_eq!(find_at(&prog, hay, 4, &mut cache), None);
+        assert_eq!(find_at(&prog, None, hay, 4, &mut cache), None);
     }
 }

@@ -130,3 +130,70 @@ proptest! {
         let _ = re.count_all(&hay);
     }
 }
+
+mod fused {
+    //! The fused lazy DFA vs. the `regex` crate oracle: the matched
+    //! pattern-id set of one fused scan must equal the set of
+    //! patterns whose individual `is_match` succeeds — on arbitrary
+    //! bytes, with and without state-cache pressure.
+
+    use super::{oracle, PATTERNS};
+    use proptest::prelude::*;
+    use psigene_regex::{CandidateSet, DfaCache, FuseOutcome, FusedSet, FusedSetBuilder};
+
+    fn build_fused(ci: bool, state_limit: Option<usize>) -> (FusedSet, Vec<regex::bytes::Regex>) {
+        let mut b = FusedSetBuilder::new();
+        if let Some(limit) = state_limit {
+            b = b.state_limit(limit);
+        }
+        let mut oracles = Vec::new();
+        for (i, pat) in PATTERNS.iter().enumerate() {
+            assert_eq!(
+                b.add(i as u32, pat, ci).expect("valid pattern"),
+                FuseOutcome::Fused,
+                "differential pattern {pat:?} must fuse"
+            );
+            oracles.push(oracle(pat, ci));
+        }
+        (b.build().expect("non-empty"), oracles)
+    }
+
+    fn check(set: &FusedSet, oracles: &[regex::bytes::Regex], cache: &mut DfaCache, hay: &[u8]) {
+        let mut out = CandidateSet::new(set.pattern_count());
+        set.scan_into(hay, cache, &mut out);
+        let got: Vec<usize> = out.iter().collect();
+        let want: Vec<usize> = oracles
+            .iter()
+            .enumerate()
+            .filter(|(_, re)| re.is_match(hay))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(got, want, "fused vs oracle on {hay:?}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn fused_set_equals_oracle_on_random_bytes(
+            hay in proptest::collection::vec(any::<u8>(), 0..120),
+        ) {
+            for ci in [false, true] {
+                let (set, oracles) = build_fused(ci, None);
+                let mut cache = DfaCache::new();
+                check(&set, &oracles, &mut cache, &hay);
+            }
+        }
+
+        #[test]
+        fn fused_set_equals_oracle_under_eviction(
+            hay in "[ -~]{0,100}",
+        ) {
+            // The minimum state budget forces constant flushing; the
+            // result must not change.
+            let (set, oracles) = build_fused(true, Some(1));
+            let mut cache = DfaCache::new();
+            check(&set, &oracles, &mut cache, hay.as_bytes());
+        }
+    }
+}

@@ -24,12 +24,15 @@ env -u RUST_TEST_THREADS cargo test --release -p psigene-serve --test gateway_se
 echo "==> ids_gateway example smoke run"
 cargo run --release -p psigene-serve --example ids_gateway -- --quick >/dev/null
 
-# Matching bench in quick mode: records naive vs. prescan feature
-# extraction throughput (payloads/sec) so future PRs have a perf
-# trajectory to compare against.
+# Matching bench in quick mode: records naive vs. prescan vs. fused
+# feature extraction throughput (payloads/sec) plus allocations per
+# payload on the fused hot path so future PRs have a perf trajectory
+# to compare against. PSIGENE_BENCH_ENFORCE fails the run if the
+# fused engine drops below the prescan baseline on attack traffic.
 echo "==> matching bench (quick) -> results/BENCH_matching.json"
 # Absolute path: cargo runs bench binaries with CWD = the package dir.
-PSIGENE_BENCH_QUICK=1 PSIGENE_BENCH_JSON="$PWD/results/BENCH_matching.json" \
+PSIGENE_BENCH_QUICK=1 PSIGENE_BENCH_ENFORCE=1 \
+    PSIGENE_BENCH_JSON="$PWD/results/BENCH_matching.json" \
     cargo bench -p psigene-bench --bench matching
 test -s results/BENCH_matching.json
 

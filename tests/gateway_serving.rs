@@ -285,6 +285,103 @@ fn prescan_verdicts_match_forced_always_run_under_load_and_reload() {
 }
 
 #[test]
+fn fused_hot_reload_rebuilds_automaton_losslessly() {
+    let p = system();
+    // A reload installs a retrained engine whose feature set carries
+    // a *different* fused automaton (new build token). Worker threads
+    // keep their lazy-DFA caches across the swap, so this test pins
+    // the rebind contract: a cache handed a reloaded automaton must
+    // reset and re-determinize, never serve states of the old owner.
+    let fresh = sqlmap::generate(&SqlmapConfig {
+        samples: 80,
+        seed: 0xabad,
+        ..Default::default()
+    });
+    let (retrained, _) = p.retrain_with(&fresh, 2);
+
+    let requests = stream(90, 270);
+    // Oracles: each engine evaluated sequentially, and — losslessness
+    // proper — each engine's fused verdicts must be bit-identical to
+    // its own forced always-run path before the gateway even starts.
+    let before: Vec<Detection> = requests.iter().map(|r| p.evaluate(r)).collect();
+    let after: Vec<Detection> = requests.iter().map(|r| retrained.evaluate(r)).collect();
+    let naive_after = retrained.with_prescan(false);
+    for (r, d) in requests.iter().zip(&after) {
+        let n = naive_after.evaluate(r);
+        assert_eq!(d.flagged, n.flagged);
+        assert_eq!(d.matched_rules, n.matched_rules);
+        assert_eq!(d.score.to_bits(), n.score.to_bits());
+    }
+
+    let store = SignatureStore::new(Arc::new(p.clone()) as Arc<dyn DetectionEngine>);
+    let gateway = Gateway::start(
+        Arc::clone(&store),
+        GatewayConfig {
+            shards: 4,
+            queue_capacity: 32,
+            policy: OverloadPolicy::Block,
+            ..GatewayConfig::default()
+        },
+    );
+
+    let n_submitters = 4;
+    let rounds = 4usize;
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for t in 0..n_submitters {
+            let gateway = &gateway;
+            let requests = &requests;
+            let before = &before;
+            let after = &after;
+            handles.push(s.spawn(move || {
+                for _ in 0..rounds {
+                    for (i, r) in requests.iter().enumerate().skip(t).step_by(n_submitters) {
+                        let v = gateway.check(r.clone());
+                        let d = v.detection().expect("Block policy never sheds");
+                        let matches = |e: &Detection| {
+                            d.flagged == e.flagged
+                                && d.matched_rules == e.matched_rules
+                                && d.score.to_bits() == e.score.to_bits()
+                        };
+                        assert!(
+                            matches(&before[i]) || matches(&after[i]),
+                            "request {i}: stale DFA state? got {d:?}, \
+                             expected {:?} or {:?}",
+                            before[i],
+                            after[i]
+                        );
+                    }
+                }
+            }));
+        }
+        // Alternate the two automata under live traffic so every
+        // worker's cache rebinds repeatedly in both directions.
+        let store = &store;
+        let p = p.clone();
+        let retrained = retrained.clone();
+        handles.push(s.spawn(move || {
+            for (n, engine) in [retrained.clone(), p.clone(), retrained, p]
+                .into_iter()
+                .enumerate()
+            {
+                std::thread::sleep(std::time::Duration::from_millis(15));
+                assert_eq!(store.swap(Arc::new(engine)), n as u64 + 2);
+            }
+        }));
+        for h in handles {
+            h.join().expect("thread");
+        }
+    });
+    assert_eq!(store.version(), 5);
+
+    let expected_total = (requests.len() * rounds) as u64;
+    let stats = gateway.shutdown();
+    assert_eq!(stats.submitted, expected_total);
+    assert_eq!(stats.served, expected_total, "requests dropped in flight");
+    assert_eq!(stats.shed, 0);
+}
+
+#[test]
 fn shed_policy_fires_at_the_configured_bound() {
     // A gated engine pins the single worker so the queue fills
     // deterministically.
