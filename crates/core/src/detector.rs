@@ -82,6 +82,12 @@ thread_local! {
     /// every signature's probability (for the drift monitor) without
     /// allocating per request.
     static SCORE_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+
+    /// Per-thread dense feature vector reused by `evaluate` and
+    /// `evaluate_batch`: extraction writes into this buffer instead
+    /// of returning a fresh `Vec` per request, so a warm worker's
+    /// steady-state evaluation never allocates for features.
+    static FEATURE_SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
 }
 
 impl Psigene {
@@ -191,10 +197,23 @@ impl DetectionEngine for Psigene {
         &self.name
     }
 
+    fn prepare(&self) {
+        // One-time lazily-built state, forced off the request path:
+        // the set-level scan automata (fused DFA program / literal
+        // prescan) and the process-wide telemetry handles.
+        if self.feature_set.prescan_enabled() {
+            self.feature_set.compiled();
+        }
+        metrics();
+    }
+
     fn evaluate(&self, request: &HttpRequest) -> Detection {
         let start = Instant::now();
-        let f = self.features_of(request);
-        let detection = self.score_and_observe(&f);
+        let detection = FEATURE_SCRATCH.with(|cell| {
+            let mut f = cell.borrow_mut();
+            self.features_into(request, &mut f);
+            self.score_and_observe(&f)
+        });
         let m = metrics();
         m.record(&detection);
         m.latency.record_duration(start.elapsed());
@@ -203,18 +222,24 @@ impl DetectionEngine for Psigene {
 
     fn evaluate_batch(&self, requests: &[HttpRequest]) -> Vec<Detection> {
         let m = metrics();
-        let mut features = vec![0.0; self.feature_set.len()];
-        requests
-            .iter()
-            .map(|request| {
-                let start = Instant::now();
-                self.features_into(request, &mut features);
-                let detection = self.score_and_observe(&features);
-                m.record(&detection);
-                m.latency.record_duration(start.elapsed());
-                detection
-            })
-            .collect()
+        // Structure-of-arrays batch scoring: one reused feature
+        // buffer feeds every request, and the per-signature score
+        // column lives in `score_and_observe`'s thread-local. The
+        // only per-batch allocation is the output vector.
+        FEATURE_SCRATCH.with(|cell| {
+            let mut features = cell.borrow_mut();
+            requests
+                .iter()
+                .map(|request| {
+                    let start = Instant::now();
+                    self.features_into(request, &mut features);
+                    let detection = self.score_and_observe(&features);
+                    m.record(&detection);
+                    m.latency.record_duration(start.elapsed());
+                    detection
+                })
+                .collect()
+        })
     }
 
     fn evaluate_traced(&self, request: &HttpRequest, trace: &mut TraceContext) -> Detection {

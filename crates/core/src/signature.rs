@@ -1,6 +1,6 @@
 //! Generalized signatures (§II-D of the paper).
 
-use psigene_learn::LogisticModel;
+use psigene_learn::{sigmoid, LogisticModel};
 use serde::{Deserialize, Serialize};
 
 /// One generalized signature: a logistic regression model over the
@@ -35,12 +35,21 @@ impl GeneralizedSignature {
     /// Panics when `full_features` is shorter than the largest feature
     /// index.
     pub fn probability(&self, full_features: &[f64]) -> f64 {
-        let x: Vec<f64> = self
-            .feature_indices
-            .iter()
-            .map(|&i| full_features[i])
-            .collect();
-        self.model.predict_proba(&x)
+        // Equivalent to gathering `full_features[feature_indices]`
+        // into a dense `x` and calling `predict_proba(&x)`, but
+        // indexing in place — the scoring hot path runs this once per
+        // signature per request and must not allocate. The fold order
+        // is identical (weights order), so the result is bit-for-bit
+        // the same.
+        let z = self.model.bias
+            + self
+                .model
+                .weights
+                .iter()
+                .zip(&self.feature_indices)
+                .map(|(w, &i)| w * full_features[i])
+                .sum::<f64>();
+        sigmoid(z)
     }
 
     /// Whether the signature flags the request at its threshold.

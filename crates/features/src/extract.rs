@@ -19,7 +19,7 @@
 //! sample is independent).
 
 use crate::set::{FeatureSet, MatchMode};
-use psigene_http::normalize::normalize;
+use psigene_http::normalize::{normalize_into, NormScratch};
 use psigene_linalg::{CsrBuilder, CsrMatrix};
 use psigene_regex::{CandidateSet, DfaCache, VmCache};
 use psigene_telemetry::insight::TraceContext;
@@ -168,52 +168,85 @@ fn record_stats(stats: &ExtractStats, rows: u64) {
     }
 }
 
-/// Per-thread scan working memory shared by both set-level engines:
-/// the candidate bitset (one per extraction, written by the fused
-/// scan and the literal prescans alike) and the lazy-DFA state cache
-/// (warm across requests — the whole point of lazy determinization).
+/// Per-thread working memory for the whole extraction hot path: the
+/// normalization double buffer, the candidate bitset (one per
+/// extraction, written by the fused scan and the literal prescans
+/// alike), the lazy-DFA state cache (warm across requests — the whole
+/// point of lazy determinization), the shared VM scratch, and a
+/// pooled sparse-row buffer for `extract_row`. One warm scratch makes
+/// a steady-state extraction touch the allocator only for the row it
+/// returns (and not at all on the dense `_into` paths).
 #[derive(Default)]
 struct ScanScratch {
+    norm: NormScratch,
     bits: CandidateSet,
     dfa: DfaCache,
     vm: VmCache,
+    row: Vec<(usize, f64)>,
 }
 
 thread_local! {
-    /// Per-thread scratch; `count_into_traced` is the only user, so
-    /// extraction allocates neither the bitset nor the DFA cache per
-    /// payload.
+    /// Per-thread scratch; the `extract_*` entry points are the only
+    /// users, so extraction allocates neither the normalization
+    /// buffers nor the bitset nor the DFA cache per payload.
     static SCRATCH: RefCell<ScanScratch> = RefCell::new(ScanScratch::default());
+}
+
+/// Normalizes `payload` into the thread-local scratch and runs every
+/// due feature over it via [`count_norm_traced`]. The single accessor
+/// of `SCRATCH`: normalization borrows the scratch's double buffer
+/// while counting borrows the engine caches — disjoint fields, one
+/// `RefCell` borrow.
+fn extract_traced(
+    set: &FeatureSet,
+    payload: &[u8],
+    emit: impl FnMut(usize, usize),
+    mut trace: Option<&mut TraceContext>,
+) -> ExtractStats {
+    SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        let ScanScratch {
+            norm,
+            bits,
+            dfa,
+            vm,
+            ..
+        } = scratch;
+        let span = trace.as_mut().map(|t| t.begin("features.normalize"));
+        let normalized = normalize_into(payload, norm);
+        if let (Some(t), Some(s)) = (trace.as_mut(), span) {
+            t.end(s);
+        }
+        count_norm_traced(set, normalized, emit, trace, bits, dfa, vm)
+    })
 }
 
 /// Runs every due feature over the already-normalized `norm`,
 /// emitting `(feature id, count)` in ascending id order (including
 /// zero counts for candidates that the VM then rejects), and returns
-/// what ran versus what the prescan skipped.
-fn count_into(set: &FeatureSet, norm: &[u8], emit: impl FnMut(usize, usize)) -> ExtractStats {
-    count_into_traced(set, norm, emit, None)
-}
-
-/// The workhorse behind [`count_into`]: identical feature dispatch,
-/// with optional per-stage spans (`features.prescan`, `features.vms`)
-/// recorded into a request-scoped trace. With `trace = None` the span
-/// bookkeeping compiles down to nothing on the hot path.
-fn count_into_traced(
+/// what ran versus what the prescan skipped. Optional per-stage spans
+/// (`features.prescan`, `features.vms`) are recorded into a
+/// request-scoped trace; with `trace = None` the span bookkeeping
+/// compiles down to nothing on the hot path.
+fn count_norm_traced(
     set: &FeatureSet,
     norm: &[u8],
     mut emit: impl FnMut(usize, usize),
     mut trace: Option<&mut TraceContext>,
+    bits: &mut CandidateSet,
+    dfa: &mut DfaCache,
+    vm: &mut VmCache,
 ) -> ExtractStats {
     let features = set.features();
     if !set.prescan_enabled() {
         // Forced always-run path: one VM run (behind its private
         // prefilter) per feature — the equivalence oracle. The VM
-        // scratch is still shared across features: `count_with` is
+        // scratch is still shared across features AND across payloads
+        // (it lives in the thread-local scratch): `count_with` is
         // result-identical to `count`.
         let span = trace.as_mut().map(|t| t.begin("features.vms"));
-        let mut vm = VmCache::new();
         for f in features {
-            emit(f.id, f.count_with(norm, &mut vm));
+            emit(f.id, f.count_with(norm, vm));
         }
         if let (Some(t), Some(s)) = (trace.as_mut(), span) {
             t.end(s);
@@ -224,56 +257,53 @@ fn count_into_traced(
         };
     }
     let compiled = set.compiled();
-    SCRATCH.with(|cell| {
-        let scratch = &mut *cell.borrow_mut();
-        // The candidate stage keeps its span name across modes so
-        // traces stay comparable (and dashboards keep working): in
-        // fused mode "features.prescan" covers the fused DFA scan
-        // plus the fallback literal scan.
-        let span = trace.as_mut().map(|t| t.begin("features.prescan"));
-        let fused_report = if set.match_mode() == MatchMode::Fused {
-            compiled.fused_candidates_into(norm, &mut scratch.bits, &mut scratch.dfa)
-        } else {
-            None
-        };
-        let candidates = match fused_report {
-            Some(_) => 0,
-            // Prescan mode, or a library where nothing fused.
-            None => compiled.candidates_into(norm, &mut scratch.bits),
-        };
-        if let (Some(t), Some(s)) = (trace.as_mut(), span) {
-            t.end(s);
-        }
-        let span = trace.as_mut().map(|t| t.begin("features.vms"));
-        let mut vm_runs = 0u64;
-        for id in scratch.bits.iter() {
-            emit(id, features[id].count_with(norm, &mut scratch.vm));
-            vm_runs += 1;
-        }
-        if let (Some(t), Some(s)) = (trace.as_mut(), span) {
-            t.end(s);
-        }
-        match fused_report {
-            Some(r) => ExtractStats {
-                vm_runs,
-                vm_runs_skipped: features.len() as u64 - vm_runs,
-                prefilter_candidates: (r.fused_matched + r.fallback_candidates) as u64,
-                fused_matched: r.fused_matched as u64,
-                fused_skipped: (compiled.fused_features() - r.fused_matched) as u64,
-                fallback_vm_runs: vm_runs - r.fused_matched as u64,
-                dfa_misses: r.stats.misses as u64,
-                dfa_flushes: r.stats.flushes as u64,
-                dfa_bytes: r.stats.bytes,
-                dfa_states: r.stats.states as u64,
-            },
-            None => ExtractStats {
-                vm_runs,
-                vm_runs_skipped: (compiled.prefiltered_features() - candidates) as u64,
-                prefilter_candidates: candidates as u64,
-                ..ExtractStats::default()
-            },
-        }
-    })
+    // The candidate stage keeps its span name across modes so
+    // traces stay comparable (and dashboards keep working): in
+    // fused mode "features.prescan" covers the fused DFA scan
+    // plus the fallback literal scan.
+    let span = trace.as_mut().map(|t| t.begin("features.prescan"));
+    let fused_report = if set.match_mode() == MatchMode::Fused {
+        compiled.fused_candidates_into(norm, bits, dfa)
+    } else {
+        None
+    };
+    let candidates = match fused_report {
+        Some(_) => 0,
+        // Prescan mode, or a library where nothing fused.
+        None => compiled.candidates_into(norm, bits),
+    };
+    if let (Some(t), Some(s)) = (trace.as_mut(), span) {
+        t.end(s);
+    }
+    let span = trace.as_mut().map(|t| t.begin("features.vms"));
+    let mut vm_runs = 0u64;
+    for id in bits.iter() {
+        emit(id, features[id].count_with(norm, vm));
+        vm_runs += 1;
+    }
+    if let (Some(t), Some(s)) = (trace.as_mut(), span) {
+        t.end(s);
+    }
+    match fused_report {
+        Some(r) => ExtractStats {
+            vm_runs,
+            vm_runs_skipped: features.len() as u64 - vm_runs,
+            prefilter_candidates: (r.fused_matched + r.fallback_candidates) as u64,
+            fused_matched: r.fused_matched as u64,
+            fused_skipped: (compiled.fused_features() - r.fused_matched) as u64,
+            fallback_vm_runs: vm_runs - r.fused_matched as u64,
+            dfa_misses: r.stats.misses as u64,
+            dfa_flushes: r.stats.flushes as u64,
+            dfa_bytes: r.stats.bytes,
+            dfa_states: r.stats.states as u64,
+        },
+        None => ExtractStats {
+            vm_runs,
+            vm_runs_skipped: (compiled.prefiltered_features() - candidates) as u64,
+            prefilter_candidates: candidates as u64,
+            ..ExtractStats::default()
+        },
+    }
 }
 
 /// Extracts the feature vector of one payload (sparse, as
@@ -285,14 +315,34 @@ pub fn extract_row(set: &FeatureSet, payload: &[u8]) -> Vec<(usize, f64)> {
 }
 
 fn extract_row_uncounted(set: &FeatureSet, payload: &[u8]) -> (Vec<(usize, f64)>, ExtractStats) {
-    let norm = normalize(payload);
-    let mut row = Vec::new();
-    let stats = count_into(set, &norm, |id, c| {
-        if c > 0 {
-            row.push((id, c as f64));
-        }
-    });
-    (row, stats)
+    SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        let ScanScratch {
+            norm,
+            bits,
+            dfa,
+            vm,
+            row,
+        } = scratch;
+        row.clear();
+        let normalized = normalize_into(payload, norm);
+        let stats = count_norm_traced(
+            set,
+            normalized,
+            |id, c| {
+                if c > 0 {
+                    row.push((id, c as f64));
+                }
+            },
+            None,
+            bits,
+            dfa,
+            vm,
+        );
+        // Accumulate into the pooled row, then clone out one
+        // exact-size vector: the only allocation on this path.
+        (row.clone(), stats)
+    })
 }
 
 /// Extracts a dense `f64` vector (for detection-time scoring against
@@ -308,10 +358,9 @@ pub fn extract_dense(set: &FeatureSet, payload: &[u8]) -> Vec<f64> {
 /// allocation across the whole batch. The buffer is cleared and
 /// resized to `set.len()`.
 pub fn extract_dense_into(set: &FeatureSet, payload: &[u8], out: &mut Vec<f64>) {
-    let norm = normalize(payload);
     out.clear();
     out.resize(set.len(), 0.0);
-    let stats = count_into(set, &norm, |id, c| out[id] = c as f64);
+    let stats = extract_traced(set, payload, |id, c| out[id] = c as f64, None);
     record_stats(&stats, 1);
 }
 
@@ -326,12 +375,9 @@ pub fn extract_dense_into_traced(
     out: &mut Vec<f64>,
     trace: &mut TraceContext,
 ) {
-    let span = trace.begin("features.normalize");
-    let norm = normalize(payload);
-    trace.end(span);
     out.clear();
     out.resize(set.len(), 0.0);
-    let stats = count_into_traced(set, &norm, |id, c| out[id] = c as f64, Some(trace));
+    let stats = extract_traced(set, payload, |id, c| out[id] = c as f64, Some(trace));
     record_stats(&stats, 1);
 }
 

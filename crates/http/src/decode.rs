@@ -5,27 +5,45 @@
 //! encodings. These decoders are deliberately forgiving: invalid
 //! escapes pass through unchanged, because a detector must never
 //! crash on hostile input.
+//!
+//! Every decoder comes in two shapes: the allocating convenience
+//! (`percent_decode`) and the `_into` variant writing into a
+//! caller-owned buffer, which the zero-allocation normalization path
+//! ([`crate::normalize::normalize_into`]) reuses across requests.
+//! The `*_changes` predicates are exact: they return `true` iff the
+//! corresponding decoder would produce output different from its
+//! input, which is what lets the normalizer borrow instead of copy
+//! on already-decoded traffic.
 
 /// Decodes `%HH` percent escapes and `+`-as-space.
 ///
 /// Invalid or truncated escapes are copied through verbatim.
 pub fn percent_decode(input: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(input.len());
+    percent_decode_into(input, &mut out);
+    out
+}
+
+/// [`percent_decode`] into a caller-owned buffer (cleared first).
+pub fn percent_decode_into(input: &[u8], out: &mut Vec<u8>) {
+    out.clear();
     let mut i = 0;
     while i < input.len() {
         match input[i] {
-            b'%' if i + 2 < input.len() + 1 => {
-                match (hex(input.get(i + 1)), hex(input.get(i + 2))) {
-                    (Some(hi), Some(lo)) => {
-                        out.push(hi * 16 + lo);
-                        i += 3;
-                    }
-                    _ => {
-                        out.push(b'%');
-                        i += 1;
-                    }
+            // A `%HH` escape needs two bytes after the `%`: decode
+            // only when both are inside the buffer AND are hex digits
+            // (a valid escape ending exactly at the end of input is
+            // fine; a truncated one passes through verbatim).
+            b'%' if i + 2 < input.len() => match (hex(input[i + 1]), hex(input[i + 2])) {
+                (Some(hi), Some(lo)) => {
+                    out.push(hi * 16 + lo);
+                    i += 3;
                 }
-            }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
             b'+' => {
                 out.push(b' ');
                 i += 1;
@@ -36,7 +54,25 @@ pub fn percent_decode(input: &[u8]) -> Vec<u8> {
             }
         }
     }
-    out
+}
+
+/// True iff [`percent_decode`] would change `input`: it contains a
+/// `+` or a complete `%HH` escape with two hex digits.
+pub fn percent_decode_changes(input: &[u8]) -> bool {
+    let mut i = 0;
+    while i < input.len() {
+        match input[i] {
+            b'+' => return true,
+            b'%' if i + 2 < input.len() => {
+                if hex(input[i + 1]).is_some() && hex(input[i + 2]).is_some() {
+                    return true;
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    false
 }
 
 /// Decodes `%uXXXX` IIS-style unicode escapes to ASCII where the code
@@ -44,34 +80,49 @@ pub fn percent_decode(input: &[u8]) -> Vec<u8> {
 /// byte-level features still see a token boundary.
 pub fn unicode_decode(input: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(input.len());
-    let mut i = 0;
-    while i < input.len() {
-        if input[i] == b'%' && i + 5 < input.len() && (input[i + 1] == b'u' || input[i + 1] == b'U')
-        {
-            let digits: Option<Vec<u8>> = (2..6).map(|k| hex(input.get(i + k))).collect();
-            if let Some(d) = digits {
-                let cp =
-                    (d[0] as u32) << 12 | (d[1] as u32) << 8 | (d[2] as u32) << 4 | d[3] as u32;
-                if cp < 0x80 {
-                    out.push(cp as u8);
-                } else {
-                    out.push(b'?');
-                }
-                i += 6;
-                continue;
-            }
-        }
-        out.push(input[i]);
-        i += 1;
-    }
+    unicode_decode_into(input, &mut out);
     out
 }
 
-fn hex(b: Option<&u8>) -> Option<u8> {
-    match b? {
-        b @ b'0'..=b'9' => Some(b - b'0'),
-        b @ b'a'..=b'f' => Some(b - b'a' + 10),
-        b @ b'A'..=b'F' => Some(b - b'A' + 10),
+/// [`unicode_decode`] into a caller-owned buffer (cleared first).
+pub fn unicode_decode_into(input: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    let mut i = 0;
+    while i < input.len() {
+        if let Some(cp) = unicode_escape_at(input, i) {
+            out.push(if cp < 0x80 { cp as u8 } else { b'?' });
+            i += 6;
+        } else {
+            out.push(input[i]);
+            i += 1;
+        }
+    }
+}
+
+/// True iff [`unicode_decode`] would change `input`: it contains a
+/// complete `%uXXXX` escape.
+pub fn unicode_decode_changes(input: &[u8]) -> bool {
+    (0..input.len()).any(|i| unicode_escape_at(input, i).is_some())
+}
+
+/// The code point of a complete `%uXXXX`/`%UXXXX` escape starting at
+/// byte `i`, if one is there.
+fn unicode_escape_at(input: &[u8], i: usize) -> Option<u32> {
+    if input[i] != b'%' || i + 5 >= input.len() || !matches!(input[i + 1], b'u' | b'U') {
+        return None;
+    }
+    let mut cp = 0u32;
+    for k in 2..6 {
+        cp = cp << 4 | hex(input[i + k])? as u32;
+    }
+    Some(cp)
+}
+
+fn hex(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
         _ => None,
     }
 }
@@ -106,6 +157,61 @@ mod tests {
         assert_eq!(percent_decode(b"100%"), b"100%");
         assert_eq!(percent_decode(b"%zz"), b"%zz");
         assert_eq!(percent_decode(b"%2"), b"%2");
+    }
+
+    #[test]
+    fn truncated_escapes_at_end_of_input() {
+        // Regression for the old `i + 2 < input.len() + 1` guard,
+        // which probed one byte past the end and only worked because
+        // the hex lookup tolerated the out-of-range access.
+        assert_eq!(percent_decode(b"%"), b"%");
+        assert_eq!(percent_decode(b"a%2"), b"a%2");
+        // A valid escape whose last digit is the final input byte
+        // must still decode.
+        assert_eq!(percent_decode(b"abc%27"), b"abc'");
+        assert_eq!(percent_decode(b"%27"), b"'");
+    }
+
+    #[test]
+    fn change_predicates_are_exact() {
+        let cases: &[&[u8]] = &[
+            b"",
+            b"%",
+            b"a%2",
+            b"%27",
+            b"%zz",
+            b"a+b",
+            b"100%",
+            b"%u0027",
+            b"%u00",
+            b"%U4e2D",
+            b"plain text",
+            b"%2527",
+        ];
+        for c in cases {
+            assert_eq!(
+                percent_decode_changes(c),
+                percent_decode(c) != *c,
+                "percent predicate wrong on {c:?}"
+            );
+            assert_eq!(
+                unicode_decode_changes(c),
+                unicode_decode(c) != *c,
+                "unicode predicate wrong on {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers() {
+        let mut buf = Vec::new();
+        percent_decode_into(b"a%27b", &mut buf);
+        assert_eq!(buf, b"a'b");
+        // A dirty buffer from a previous request is cleared first.
+        percent_decode_into(b"x+y", &mut buf);
+        assert_eq!(buf, b"x y");
+        unicode_decode_into(b"%u0041", &mut buf);
+        assert_eq!(buf, b"A");
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod parse;
 pub mod query;
 pub mod request;
 
+pub use normalize::{normalize_into, NormScratch};
 pub use parse::{parse_request, parse_url, split_target, ParseError};
 pub use query::parse_params;
 pub use request::{HttpRequest, Method, Param};
@@ -63,6 +64,60 @@ mod proptests {
             let n = crate::normalize::normalize(&input);
             prop_assert!(!n.iter().any(|b| b.is_ascii_uppercase()));
             prop_assert!(!n.windows(2).any(|w| w == b"  "));
+        }
+
+        /// The fix-point contract the feature VMs rely on: a payload
+        /// that has been normalized once cannot change under a second
+        /// normalization (layered encodings are unwound inside ONE
+        /// normalize call, not across calls).
+        #[test]
+        fn normalize_is_a_fix_point(input in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let once = crate::normalize::normalize(&input);
+            prop_assert_eq!(crate::normalize::normalize(&once), once);
+        }
+
+        /// The scratch-backed hot path is byte-identical to the
+        /// allocating wrapper, including when the scratch is dirty
+        /// from an unrelated previous payload.
+        #[test]
+        fn normalize_into_matches_normalize(
+            prev in proptest::collection::vec(any::<u8>(), 0..256),
+            input in proptest::collection::vec(any::<u8>(), 0..256),
+        ) {
+            let mut scratch = crate::normalize::NormScratch::new();
+            let _ = crate::normalize::normalize_into(&prev, &mut scratch);
+            prop_assert_eq!(
+                crate::normalize::normalize_into(&input, &mut scratch),
+                crate::normalize::normalize(&input).as_slice()
+            );
+        }
+
+        /// Every transformation's no-op predicate is exact: it says
+        /// "would change" iff applying the transformation actually
+        /// changes the bytes. The borrow-instead-of-copy fast path is
+        /// only sound while this holds.
+        #[test]
+        fn would_change_predicates_match_apply(input in proptest::collection::vec(any::<u8>(), 0..256)) {
+            for t in crate::normalize::STANDARD_PIPELINE {
+                prop_assert_eq!(
+                    crate::normalize::would_change(t, &input),
+                    crate::normalize::apply(t, &input) != input,
+                    "{:?}", t
+                );
+            }
+        }
+
+        /// parse → render → parse is the identity on parameter
+        /// structure: rendering escapes the reserved bytes so hostile
+        /// values cannot add, drop or resplit parameters.
+        #[test]
+        fn parse_render_parse_roundtrip(input in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let parsed = crate::query::parse_params(&input);
+            let rendered = crate::query::render_params(
+                &parsed.iter().map(|p| (p.name.clone(), p.value.clone())).collect::<Vec<_>>(),
+            );
+            let reparsed = crate::query::parse_params(rendered.as_bytes());
+            prop_assert_eq!(parsed, reparsed);
         }
 
         #[test]

@@ -28,14 +28,38 @@ pub fn parse_params(raw: &[u8]) -> Vec<Param> {
     out
 }
 
-/// Renders parameters back into a query string without re-encoding
-/// (used by generators that control their own encoding).
+/// Renders parameters back into a query string. Bytes that carry
+/// query-string structure — `&` (pair separator), `=` (name/value
+/// split), `%` (escape introducer) and `+` (space under form
+/// decoding) — are percent-encoded so that
+/// `parse_params(render_params(ps))` reproduces `ps` exactly; every
+/// other byte is emitted verbatim (generators control their own
+/// payload encoding beyond the reserved set).
 pub fn render_params(params: &[(String, String)]) -> String {
-    params
-        .iter()
-        .map(|(n, v)| format!("{n}={v}"))
-        .collect::<Vec<_>>()
-        .join("&")
+    let mut out = String::new();
+    for (i, (n, v)) in params.iter().enumerate() {
+        if i > 0 {
+            out.push('&');
+        }
+        escape_reserved(n, &mut out);
+        out.push('=');
+        escape_reserved(v, &mut out);
+    }
+    out
+}
+
+/// Percent-encodes only the four structure-carrying bytes; see
+/// [`render_params`].
+fn escape_reserved(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("%26"),
+            '=' => out.push_str("%3D"),
+            '%' => out.push_str("%25"),
+            '+' => out.push_str("%2B"),
+            _ => out.push(c),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -73,11 +97,39 @@ mod tests {
     }
 
     #[test]
-    fn render_roundtrip_unencoded() {
+    fn render_leaves_unreserved_bytes_alone() {
         let params = vec![
             ("a".to_string(), "1".to_string()),
             ("b".to_string(), "x y".to_string()),
         ];
         assert_eq!(render_params(&params), "a=1&b=x y");
+    }
+
+    #[test]
+    fn render_escapes_structure_bytes() {
+        // Regression: a value containing `&`/`=` used to reparse as
+        // extra parameters, silently changing parameter structure.
+        let params = vec![("q".to_string(), "a&b=c".to_string())];
+        assert_eq!(render_params(&params), "q=a%26b%3Dc");
+        let back = parse_params(render_params(&params).as_bytes());
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].name, "q");
+        assert_eq!(back[0].value, "a&b=c");
+    }
+
+    #[test]
+    fn render_parse_roundtrip_on_hostile_values() {
+        let params = vec![
+            ("a&b".to_string(), "1=2".to_string()),
+            ("pct".to_string(), "100%".to_string()),
+            ("plus".to_string(), "a+b c".to_string()),
+            ("".to_string(), "".to_string()),
+        ];
+        let back = parse_params(render_params(&params).as_bytes());
+        assert_eq!(back.len(), params.len());
+        for (p, (n, v)) in back.iter().zip(&params) {
+            assert_eq!(&p.name, n);
+            assert_eq!(&p.value, v);
+        }
     }
 }

@@ -78,6 +78,13 @@ pub trait DetectionEngine: Send + Sync {
     /// Engine display name (Table V row label).
     fn name(&self) -> &str;
 
+    /// Forces any lazily-built shared state (compiled automata,
+    /// telemetry handles) to exist *now*, so the first request served
+    /// after a deploy does not pay one-time construction costs. The
+    /// serving gateway calls this when an engine is installed or
+    /// hot-swapped in. Must be idempotent; the default does nothing.
+    fn prepare(&self) {}
+
     /// Evaluates one request.
     fn evaluate(&self, request: &HttpRequest) -> Detection;
 

@@ -124,6 +124,17 @@ struct Shard {
 /// bounded queue, all evaluating against the engine currently in the
 /// shared [`SignatureStore`].
 ///
+/// Each shard is one OS thread, so the thread-local evaluation
+/// scratch of the engine crates (normalization double buffer,
+/// candidate bitset, lazy-DFA state cache, feature/score vectors) is
+/// per-worker-shard state that stays warm across jobs: after a
+/// worker's first few requests, evaluating a payload touches the
+/// allocator at most a couple of times (see the alloc-budget test and
+/// the matching bench's allocs/payload report). The store prepares
+/// incoming engines before exposing them, and each worker touches the
+/// installed engine once at spawn, so neither a cold worker nor a hot
+/// swap pays one-time construction on the request path.
+///
 /// Request → verdict flow:
 ///
 /// ```text
@@ -473,6 +484,11 @@ fn worker_loop(
     exemplars: Arc<Mutex<ExemplarBuffer>>,
     tap: Option<Arc<dyn psigene_control::VerdictSink>>,
 ) {
+    // Warm-up before serving: force the installed engine's shared
+    // lazily-built state (idempotent — the store already prepared it)
+    // so the worker's first dequeue never races other workers into
+    // one-time construction.
+    store.current().prepare();
     while let Ok(job) = rx.recv() {
         depth.set(rx.len() as f64);
         match job {

@@ -56,8 +56,12 @@ pub struct SignatureStore {
 }
 
 impl SignatureStore {
-    /// Wraps the initial engine; version starts at 1.
+    /// Wraps the initial engine; version starts at 1. The engine is
+    /// [`prepared`](DetectionEngine::prepare) so its lazily-built
+    /// state (compiled scan automata, telemetry handles) exists
+    /// before the first request.
     pub fn new(engine: Arc<dyn DetectionEngine>) -> Arc<SignatureStore> {
+        engine.prepare();
         let telemetry = psigene_telemetry::global();
         let version_gauge = telemetry.gauge("serve.signature_version");
         version_gauge.set(1.0);
@@ -104,6 +108,7 @@ impl SignatureStore {
     /// live engine keeps serving the rest; nothing about the live
     /// path changes.
     pub fn set_canary(&self, engine: Arc<dyn DetectionEngine>, fraction: f64, seed: u64) {
+        engine.prepare();
         let ppm = (fraction.clamp(0.0, 1.0) * 1_000_000.0) as u64;
         *self.canary.write() = Some(Canary { engine, ppm, seed });
         self.canary_on.store(true, Ordering::Release);
@@ -124,8 +129,11 @@ impl SignatureStore {
 
     /// Installs a new engine mid-traffic and returns the new version.
     /// Requests already snapshotted on the old engine finish there;
-    /// nothing is dropped.
+    /// nothing is dropped. The incoming engine is prepared *before*
+    /// it becomes visible, so the swap never exposes traffic to its
+    /// one-time construction costs.
     pub fn swap(&self, engine: Arc<dyn DetectionEngine>) -> u64 {
+        engine.prepare();
         *self.engine.write() = engine;
         let version = self.version.fetch_add(1, Ordering::AcqRel) + 1;
         self.reloads.inc();

@@ -24,11 +24,22 @@ env -u RUST_TEST_THREADS cargo test --release -p psigene-serve --test gateway_se
 echo "==> ids_gateway example smoke run"
 cargo run --release -p psigene-serve --example ids_gateway -- --quick >/dev/null
 
+# Steady-state allocation budget: a warm worker must evaluate a
+# request with at most 2 allocations, through the public engine API
+# and through the full gateway path, with bit-identical rows/scores
+# across all three match modes. Release + one test thread: the
+# counting allocator is process-global.
+echo "==> alloc-budget integration test (zero-alloc hot path)"
+env -u RUST_TEST_THREADS cargo test --release -p psigene-serve \
+    --test alloc_budget -q -- --test-threads=1
+
 # Matching bench in quick mode: records naive vs. prescan vs. fused
 # feature extraction throughput (payloads/sec) plus allocations per
-# payload on the fused hot path so future PRs have a perf trajectory
-# to compare against. PSIGENE_BENCH_ENFORCE fails the run if the
-# fused engine drops below the prescan baseline on attack traffic.
+# payload for every mode x traffic class so future PRs have a perf
+# trajectory to compare against. PSIGENE_BENCH_ENFORCE fails the run
+# if the fused engine drops below the prescan baseline on attack
+# traffic or the fused steady state allocates more than 2 per payload
+# on either traffic class.
 echo "==> matching bench (quick) -> results/BENCH_matching.json"
 # Absolute path: cargo runs bench binaries with CWD = the package dir.
 PSIGENE_BENCH_QUICK=1 PSIGENE_BENCH_ENFORCE=1 \

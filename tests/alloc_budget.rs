@@ -1,0 +1,307 @@
+//! Steady-state allocation budget on the detection hot path.
+//!
+//! The §II-A normalization pipeline, feature extraction and signature
+//! scoring all run on caller-owned or thread-local scratch, so a warm
+//! worker evaluating one request should touch the allocator at most
+//! [`ALLOC_BUDGET`] times (the flagged-signature id list of a hit is
+//! the only per-request allocation left; benign requests allocate
+//! nothing). These tests pin that budget through the public engine
+//! API and through the full gateway path (submit → shard queue →
+//! worker → evaluate → reply), and pin that the zero-alloc rewiring
+//! changed no observable result: sparse rows are bitwise identical
+//! across all three match modes and across repeated extractions over
+//! dirty scratch.
+//!
+//! Run with `--test-threads=1` or rely on the internal lock: the
+//! counting allocator is process-global, so a concurrently allocating
+//! sibling test would inflate the measured window.
+
+use parking_lot::Mutex;
+use psigene::{PipelineConfig, Psigene};
+use psigene_corpus::benign::{self, BenignConfig};
+use psigene_corpus::sqlmap::{self, SqlmapConfig};
+use psigene_features::{extract, FeatureSet, MatchMode};
+use psigene_http::HttpRequest;
+use psigene_rulesets::DetectionEngine;
+use psigene_serve::{Gateway, GatewayConfig, OverloadPolicy, SignatureStore};
+use psigene_telemetry::insight::TraceConfig;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Allocations allowed per steady-state request: one for the matched
+/// signature ids of a flagged verdict plus one of slack for rare
+/// scratch growth (amortized to ~0 in a long-running worker).
+const ALLOC_BUDGET: f64 = 2.0;
+
+// ─── Counting allocator ───
+// The library crates forbid unsafe; this test binary is a separate
+// crate and may count allocations the only way Rust allows (the same
+// idiom as tests/observability.rs and the matching bench).
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+// ─── Shared fixtures ───
+
+/// Serializes the measuring tests against each other (the allocation
+/// counter is process-global).
+fn lock() -> &'static Mutex<()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+}
+
+/// One small trained system shared by every test in this binary.
+fn system() -> &'static Psigene {
+    static SYSTEM: OnceLock<Psigene> = OnceLock::new();
+    SYSTEM.get_or_init(|| {
+        Psigene::train(&PipelineConfig {
+            crawl_samples: 300,
+            benign_train: 1200,
+            cluster_sample_cap: 300,
+            threads: 2,
+            ..PipelineConfig::default()
+        })
+    })
+}
+
+/// A mixed steady-state workload: mostly benign with attacks salted
+/// in (1 in 4), all built *before* any measured window.
+fn workload(n: usize) -> Vec<HttpRequest> {
+    let attacks = sqlmap::generate(&SqlmapConfig {
+        samples: n.div_ceil(4),
+        ..Default::default()
+    });
+    let benign = benign::generate(&BenignConfig {
+        requests: n,
+        ..Default::default()
+    });
+    let mut out: Vec<HttpRequest> = Vec::with_capacity(n);
+    let mut a = attacks.samples.iter().cycle();
+    let mut b = benign.samples.iter().cycle();
+    for i in 0..n {
+        let s = if i % 4 == 0 {
+            a.next().unwrap()
+        } else {
+            b.next().unwrap()
+        };
+        out.push(s.request.clone());
+    }
+    out
+}
+
+#[test]
+fn direct_engine_path_stays_within_the_alloc_budget() {
+    let _guard = lock().lock();
+    let engine = system();
+    engine.prepare();
+    let requests = workload(64);
+    // Warm-up: fill this thread's normalization/bitset/DFA/feature
+    // scratch, the lazy-DFA cache for these payload bytes, and the
+    // per-signature telemetry counters the flagged requests touch.
+    for _ in 0..2 {
+        for r in &requests {
+            std::hint::black_box(engine.evaluate(r).flagged);
+        }
+    }
+    let before = allocations();
+    let mut flagged = 0usize;
+    for r in &requests {
+        if engine.evaluate(r).flagged {
+            flagged += 1;
+        }
+    }
+    let per_request = (allocations() - before) as f64 / requests.len() as f64;
+    assert!(flagged > 0, "workload produced no detections");
+    assert!(
+        per_request <= ALLOC_BUDGET,
+        "steady-state evaluate allocates {per_request:.2}/request (> {ALLOC_BUDGET})"
+    );
+}
+
+#[test]
+fn gateway_batch_path_stays_within_the_alloc_budget() {
+    let _guard = lock().lock();
+    let store = SignatureStore::new(Arc::new(system().clone()));
+    let gateway = Gateway::start(
+        store,
+        GatewayConfig {
+            shards: 1,
+            queue_capacity: 16,
+            policy: OverloadPolicy::Block,
+            // The unsampled trace path is proven allocation-free in
+            // tests/observability.rs; keep sampling out of this
+            // budget so it measures pure serving.
+            trace: TraceConfig {
+                sample_every: 0,
+                seed: 0,
+            },
+            tap: None,
+        },
+    );
+    // Every batch is built before the measured window: batch
+    // construction is the *caller's* cost, the budget polices the
+    // gateway (queueing, evaluation, verdict delivery).
+    let n = 64;
+    let warm1 = workload(n);
+    let warm2 = workload(n);
+    let measured = workload(n);
+    for batch in [warm1, warm2] {
+        let verdicts = gateway.submit_batch(batch).wait();
+        assert_eq!(verdicts.len(), n);
+    }
+    let before = allocations();
+    let verdicts = gateway.submit_batch(measured).wait();
+    let per_request = (allocations() - before) as f64 / n as f64;
+    assert_eq!(verdicts.len(), n);
+    assert!(verdicts.iter().any(|v| v.flagged()), "no detections");
+    assert!(
+        per_request <= ALLOC_BUDGET,
+        "steady-state gateway serving allocates {per_request:.2}/request (> {ALLOC_BUDGET})"
+    );
+    drop(gateway);
+}
+
+#[test]
+fn match_modes_extract_bitwise_identical_rows() {
+    let fused = FeatureSet::full();
+    assert_eq!(fused.match_mode(), MatchMode::Fused);
+    let prescan = fused.with_match_mode(MatchMode::Prescan);
+    let naive = fused.with_match_mode(MatchMode::Naive);
+    let requests = workload(32);
+    for r in &requests {
+        let p = r.detection_payload();
+        // Extract twice per mode: the second run reuses dirty
+        // thread-local scratch and must be bit-identical to the
+        // first (f64 counts compared through to_bits, not ==).
+        let rows = [
+            extract::extract_row(&fused, p),
+            extract::extract_row(&fused, p),
+            extract::extract_row(&prescan, p),
+            extract::extract_row(&naive, p),
+        ];
+        for other in &rows[1..] {
+            assert_eq!(rows[0].len(), other.len(), "{p:?}");
+            for (&(ca, va), &(cb, vb)) in rows[0].iter().zip(other.iter()) {
+                assert_eq!(ca, cb, "{p:?}");
+                assert_eq!(va.to_bits(), vb.to_bits(), "{p:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn match_mode_scores_are_bitwise_identical() {
+    let p = system();
+    let others = [
+        p.with_match_mode(MatchMode::Prescan),
+        p.with_match_mode(MatchMode::Naive),
+    ];
+    for r in &workload(24) {
+        let a = p.evaluate(r);
+        for other in &others {
+            let b = other.evaluate(r);
+            assert_eq!(a.flagged, b.flagged);
+            assert_eq!(a.matched_rules, b.matched_rules);
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+}
+
+/// Layer-by-layer allocation attribution — not a gate, a debugging
+/// aid for when the budget tests above start failing. Run with
+/// `cargo test -p psigene-serve --test alloc_budget -- --ignored
+/// --nocapture --test-threads=1`.
+#[test]
+#[ignore]
+fn diag_layer_allocs() {
+    let _guard = lock().lock();
+    let requests = workload(64);
+    let payloads: Vec<&[u8]> = requests.iter().map(|r| r.detection_payload()).collect();
+
+    let mut scratch = psigene_http::NormScratch::new();
+    for p in &payloads {
+        std::hint::black_box(psigene_http::normalize_into(p, &mut scratch).len());
+    }
+    let before = allocations();
+    for p in &payloads {
+        std::hint::black_box(psigene_http::normalize_into(p, &mut scratch).len());
+    }
+    eprintln!(
+        "normalize_into: {:.2}/payload",
+        (allocations() - before) as f64 / payloads.len() as f64
+    );
+
+    let set = FeatureSet::full();
+    set.compiled();
+    for p in &payloads {
+        std::hint::black_box(extract::extract_row(&set, p).len());
+    }
+    let before = allocations();
+    for p in &payloads {
+        std::hint::black_box(extract::extract_row(&set, p).len());
+    }
+    eprintln!(
+        "extract_row(full): {:.2}/payload",
+        (allocations() - before) as f64 / payloads.len() as f64
+    );
+
+    let engine = system();
+    engine.prepare();
+    let mut dense = Vec::new();
+    for r in &requests {
+        engine.features_into(r, &mut dense);
+    }
+    let before = allocations();
+    for r in &requests {
+        engine.features_into(r, &mut dense);
+    }
+    eprintln!(
+        "features_into(trained): {:.2}/payload",
+        (allocations() - before) as f64 / payloads.len() as f64
+    );
+
+    let before = allocations();
+    for r in &requests {
+        std::hint::black_box(engine.score_features(&dense).flagged);
+        let _ = r;
+    }
+    eprintln!(
+        "score_features: {:.2}/payload",
+        (allocations() - before) as f64 / payloads.len() as f64
+    );
+
+    for r in &requests {
+        std::hint::black_box(engine.evaluate(r).flagged);
+    }
+    let before = allocations();
+    for r in &requests {
+        std::hint::black_box(engine.evaluate(r).flagged);
+    }
+    eprintln!(
+        "evaluate: {:.2}/payload",
+        (allocations() - before) as f64 / payloads.len() as f64
+    );
+}
