@@ -14,8 +14,10 @@
 //! global allocator — so CI keeps a perf trajectory
 //! (`PSIGENE_BENCH_QUICK=1` shrinks sample counts for the CI gate,
 //! `PSIGENE_BENCH_ENFORCE=1` fails the run if the fused engine falls
-//! behind the prescan on attack traffic or the fused steady state
-//! allocates more than twice per payload).
+//! behind the prescan on attack traffic, if the fused steady state
+//! allocates more than twice per payload, or if quiescent-state
+//! acceleration makes the benign path slower than running without
+//! it).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use psigene::{PipelineConfig, Psigene};
@@ -296,6 +298,19 @@ fn write_bench_json(
     let attack_fused = payloads_per_sec(fused, attacks, passes);
     let attack_prescan = payloads_per_sec(prescan, attacks, passes);
     let attack_naive = payloads_per_sec(naive, attacks, passes);
+    // Accel-off mode: the same fused automaton with quiescent-state
+    // skipping disabled, measured back-to-back with a fresh accel-on
+    // pass so the speedup ratio compares adjacent windows on a noisy
+    // host. The skip ratio comes from the telemetry gauge after the
+    // accel-on pass (flush first: per-row stats are window-buffered).
+    let unaccel = fused.with_acceleration(false);
+    let benign_unaccel = payloads_per_sec(&unaccel, benign, passes);
+    let benign_accel = payloads_per_sec(fused, benign, passes);
+    extract::flush_extract_metrics();
+    let accel_skip_ratio = psigene_telemetry::global()
+        .gauge("regex.fused.accel_skip_ratio")
+        .get();
+    let benign_accel_speedup = benign_accel / benign_unaccel;
     let traffic_record = |name: &str, nv: f64, ps: f64, fs: f64, payloads: &[&[u8]]| {
         format!(
             "  \"{}\": {{ \"naive_payloads_per_sec\": {:.1}, \"prescan_payloads_per_sec\": {:.1}, \
@@ -328,10 +343,13 @@ fn write_bench_json(
     let benign_allocs = allocs_per_payload(fused, benign);
     let json = format!(
         "{{\n  \"bench\": \"matching\",\n  \"mode\": \"{}\",\n  \"features\": {},\n  \
-         \"alloc_budget\": {:.1},\n{},\n{}\n}}\n",
+         \"alloc_budget\": {:.1},\n  \"benign_accel_speedup\": {:.2},\n  \
+         \"accel_skip_ratio\": {:.4},\n{},\n{}\n}}\n",
         if quick() { "quick" } else { "full" },
         fused.len(),
         ALLOC_BUDGET,
+        benign_accel_speedup,
+        accel_skip_ratio,
         benign_record,
         attack_record,
     );
@@ -355,10 +373,29 @@ fn write_bench_json(
             "steady-state extraction exceeds the allocation budget of \
              {ALLOC_BUDGET}/payload: attack {attack_allocs:.2}, benign {benign_allocs:.2}"
         );
+        // Acceleration must never make benign extraction slower. The
+        // two runs are adjacent but still separate wall-clock windows
+        // on a shared host, so allow a 10% noise floor: the gate
+        // catches real regressions (a mispriced accel check in the
+        // scan loop), not scheduler jitter.
+        assert!(
+            benign_accel >= 0.9 * benign_unaccel,
+            "accelerated benign throughput regressed below unaccelerated: \
+             {benign_accel:.1} < {benign_unaccel:.1} payloads/sec \
+             (speedup {benign_accel_speedup:.2})"
+        );
         println!(
             "PSIGENE_BENCH_ENFORCE: fused attack throughput {:.1} >= prescan {:.1}, \
+             accel benign {:.1} vs unaccel {:.1} (speedup {:.2}), \
              allocs/payload attack {:.2} / benign {:.2} <= {:.1} — ok",
-            attack_fused, attack_prescan, attack_allocs, benign_allocs, ALLOC_BUDGET
+            attack_fused,
+            attack_prescan,
+            benign_accel,
+            benign_unaccel,
+            benign_accel_speedup,
+            attack_allocs,
+            benign_allocs,
+            ALLOC_BUDGET
         );
     }
 }

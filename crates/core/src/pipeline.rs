@@ -513,6 +513,16 @@ impl Psigene {
         out
     }
 
+    /// A copy with the fused engine's quiescent-state skipping
+    /// toggled (default on). Acceleration is a pure scan-speed
+    /// optimization: feature vectors and detector scores are bitwise
+    /// identical either way (pinned by test).
+    pub fn with_acceleration(&self, enabled: bool) -> Psigene {
+        let mut out = self.clone();
+        out.feature_set = out.feature_set.with_acceleration(enabled);
+        out
+    }
+
     /// A copy with drift monitoring toggled (default windowing).
     /// Enabled, every evaluated request feeds feature-frequency and
     /// per-signature score sketches whose PSI/KL scores export as

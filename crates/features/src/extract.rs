@@ -52,11 +52,19 @@ pub struct ExtractStats {
     pub dfa_misses: u64,
     /// Lazy-DFA state-cache flushes forced by the state limit.
     pub dfa_flushes: u64,
-    /// Bytes scanned by the lazy DFA (= transitions taken).
+    /// Bytes covered by the lazy DFA scan. Not "transitions taken":
+    /// quiescent-state acceleration jumps over `dfa_skipped` of these
+    /// without executing a transition each.
     pub dfa_bytes: u64,
+    /// Bytes the DFA's quiescent-state accelerator jumped over
+    /// (subset of `dfa_bytes`).
+    pub dfa_skipped: u64,
     /// Peak lazy-DFA states resident after a scan (absorb keeps the
     /// maximum, not the sum).
     pub dfa_states: u64,
+    /// Peak lazy-DFA states with an active acceleration plan (absorb
+    /// keeps the maximum, like `dfa_states`).
+    pub dfa_accel_states: u64,
 }
 
 impl ExtractStats {
@@ -70,7 +78,9 @@ impl ExtractStats {
         self.dfa_misses += other.dfa_misses;
         self.dfa_flushes += other.dfa_flushes;
         self.dfa_bytes += other.dfa_bytes;
+        self.dfa_skipped += other.dfa_skipped;
         self.dfa_states = self.dfa_states.max(other.dfa_states);
+        self.dfa_accel_states = self.dfa_accel_states.max(other.dfa_accel_states);
     }
 
     /// Fraction of potential VM runs the set-level scan eliminated.
@@ -96,12 +106,29 @@ impl ExtractStats {
     }
 
     /// Fraction of lazy-DFA transitions served from the state cache;
-    /// `None` when the DFA scanned no bytes.
+    /// `None` when the DFA scanned no bytes. Skipped bytes take no
+    /// transition, so the denominator is `dfa_bytes - dfa_skipped`
+    /// (a scan that skipped everything is a perfect 1.0), and the
+    /// value is clamped to `[0, 1]` — flush-forced re-determinization
+    /// can miss more than once per byte.
     pub fn dfa_hit_ratio(&self) -> Option<f64> {
+        if self.dfa_bytes == 0 {
+            return None;
+        }
+        let taken = self.dfa_bytes - self.dfa_skipped;
+        if taken == 0 {
+            return Some(1.0);
+        }
+        Some((1.0 - self.dfa_misses as f64 / taken as f64).clamp(0.0, 1.0))
+    }
+
+    /// Fraction of scanned bytes the DFA accelerator jumped over;
+    /// `None` when the DFA scanned no bytes.
+    pub fn dfa_skip_ratio(&self) -> Option<f64> {
         if self.dfa_bytes == 0 {
             None
         } else {
-            Some(1.0 - self.dfa_misses as f64 / self.dfa_bytes as f64)
+            Some(self.dfa_skipped as f64 / self.dfa_bytes as f64)
         }
     }
 }
@@ -120,6 +147,9 @@ struct ExtractMetrics {
     fused_cache_states: Arc<Gauge>,
     fused_cache_hit_ratio: Arc<Gauge>,
     fused_cache_flushes: Arc<Counter>,
+    accel_states: Arc<Gauge>,
+    accel_bytes_skipped: Arc<Counter>,
+    accel_skip_ratio: Arc<Gauge>,
 }
 
 fn metrics() -> &'static ExtractMetrics {
@@ -138,6 +168,9 @@ fn metrics() -> &'static ExtractMetrics {
             fused_cache_states: telemetry.gauge("regex.fused.cache_states"),
             fused_cache_hit_ratio: telemetry.gauge("regex.fused.cache_hit_ratio"),
             fused_cache_flushes: telemetry.counter("regex.fused.cache_flushes"),
+            accel_states: telemetry.gauge("regex.fused.accel_states"),
+            accel_bytes_skipped: telemetry.counter("regex.fused.accel_bytes_skipped"),
+            accel_skip_ratio: telemetry.gauge("regex.fused.accel_skip_ratio"),
         }
     })
 }
@@ -149,7 +182,8 @@ fn metrics() -> &'static ExtractMetrics {
 /// `features.vm_runs_skipped` and the running skip fraction in
 /// `features.vm_skip_ratio`. Fused-mode extractions additionally feed
 /// `features.fused_skip_ratio` and the `regex.fused.*` family (state
-/// cache occupancy/hit ratio/flushes, fallback VM runs).
+/// cache occupancy/hit ratio/flushes, fallback VM runs, accelerated
+/// state count, and bytes/ratio jumped by quiescent-state skipping).
 fn record_stats(stats: &ExtractStats, rows: u64) {
     let m = metrics();
     m.regex_evals.add(stats.vm_runs);
@@ -165,17 +199,40 @@ fn record_stats(stats: &ExtractStats, rows: u64) {
         if let Some(hit) = stats.dfa_hit_ratio() {
             m.fused_cache_hit_ratio.set(hit);
         }
+        // Peak, not last-window: each thread owns a DfaCache, and on
+        // traffic that rarely triggers accel analysis most windows
+        // would truthfully report 0 and mask the threads that did
+        // accelerate.
+        let accel_states = stats.dfa_accel_states as f64;
+        if accel_states > m.accel_states.get() {
+            m.accel_states.set(accel_states);
+        }
+        m.accel_bytes_skipped.add(stats.dfa_skipped);
+        if let Some(skip) = stats.dfa_skip_ratio() {
+            m.accel_skip_ratio.set(skip);
+        }
     }
 }
+
+/// How many buffered single-row stats accumulate in the thread-local
+/// scratch before being flushed to the global registry. Per-row
+/// recording costs one atomic op per metric (~a dozen per payload),
+/// which measurably taxes the sub-microsecond fused path; batching
+/// trades bounded counter lag for removing that tax. Batch entry
+/// points ([`extract_matrix`] and friends) still record immediately.
+const METRICS_FLUSH_ROWS: u64 = 32;
 
 /// Per-thread working memory for the whole extraction hot path: the
 /// normalization double buffer, the candidate bitset (one per
 /// extraction, written by the fused scan and the literal prescans
 /// alike), the lazy-DFA state cache (warm across requests — the whole
-/// point of lazy determinization), the shared VM scratch, and a
-/// pooled sparse-row buffer for `extract_row`. One warm scratch makes
-/// a steady-state extraction touch the allocator only for the row it
-/// returns (and not at all on the dense `_into` paths).
+/// point of lazy determinization), the shared VM scratch, a pooled
+/// sparse-row buffer for `extract_row`, and the buffered telemetry
+/// window (flushed every [`METRICS_FLUSH_ROWS`] rows, on
+/// [`flush_extract_metrics`], and when the thread exits). One warm
+/// scratch makes a steady-state extraction touch the allocator only
+/// for the row it returns (and not at all on the dense `_into`
+/// paths).
 #[derive(Default)]
 struct ScanScratch {
     norm: NormScratch,
@@ -183,6 +240,44 @@ struct ScanScratch {
     dfa: DfaCache,
     vm: VmCache,
     row: Vec<(usize, f64)>,
+    pending: ExtractStats,
+    pending_rows: u64,
+}
+
+impl ScanScratch {
+    /// Absorbs one row's stats into the pending window, flushing it to
+    /// the registry when full.
+    fn buffer_stats(&mut self, stats: ExtractStats) {
+        self.pending.absorb(stats);
+        self.pending_rows += 1;
+        if self.pending_rows >= METRICS_FLUSH_ROWS {
+            self.flush_stats();
+        }
+    }
+
+    fn flush_stats(&mut self) {
+        if self.pending_rows > 0 {
+            record_stats(&self.pending, self.pending_rows);
+            self.pending = ExtractStats::default();
+            self.pending_rows = 0;
+        }
+    }
+}
+
+impl Drop for ScanScratch {
+    /// A dying thread publishes whatever its window still holds, so
+    /// short-lived worker threads never lose rows.
+    fn drop(&mut self) {
+        self.flush_stats();
+    }
+}
+
+/// Publishes any per-row telemetry still buffered in this thread's
+/// scratch window (see [`METRICS_FLUSH_ROWS`]). Counters lag the
+/// truth by at most one window; call this before reading a snapshot
+/// that must include rows this thread just extracted.
+pub fn flush_extract_metrics() {
+    SCRATCH.with(|cell| cell.borrow_mut().flush_stats());
 }
 
 thread_local! {
@@ -277,9 +372,27 @@ fn count_norm_traced(
     }
     let span = trace.as_mut().map(|t| t.begin("features.vms"));
     let mut vm_runs = 0u64;
-    for id in bits.iter() {
-        emit(id, features[id].count_with(norm, vm));
-        vm_runs += 1;
+    if fused_report.is_some() {
+        // Fused bits are exact matches, so for fused features the
+        // per-feature prefilter can only re-confirm what the DFA
+        // already proved — skip it and go straight to counting.
+        // Fallback (unfused) candidates keep their prefilter: for
+        // them the bit only means "literal seen", not "matches".
+        for id in bits.iter() {
+            let f = &features[id];
+            let n = if compiled.is_fused(id) {
+                f.count_known_match(norm, vm)
+            } else {
+                f.count_with(norm, vm)
+            };
+            emit(id, n);
+            vm_runs += 1;
+        }
+    } else {
+        for id in bits.iter() {
+            emit(id, features[id].count_with(norm, vm));
+            vm_runs += 1;
+        }
     }
     if let (Some(t), Some(s)) = (trace.as_mut(), span) {
         t.end(s);
@@ -295,7 +408,9 @@ fn count_norm_traced(
             dfa_misses: r.stats.misses as u64,
             dfa_flushes: r.stats.flushes as u64,
             dfa_bytes: r.stats.bytes,
+            dfa_skipped: r.stats.skipped,
             dfa_states: r.stats.states as u64,
+            dfa_accel_states: r.stats.accel_states as u64,
         },
         None => ExtractStats {
             vm_runs,
@@ -310,8 +425,14 @@ fn count_norm_traced(
 /// `(column, count)` pairs).
 pub fn extract_row(set: &FeatureSet, payload: &[u8]) -> Vec<(usize, f64)> {
     let (row, stats) = extract_row_uncounted(set, payload);
-    record_stats(&stats, 1);
+    record_stats_buffered(stats);
     row
+}
+
+/// Buffers one row's stats in the thread-local window instead of
+/// paying the registry's atomics on every payload.
+fn record_stats_buffered(stats: ExtractStats) {
+    SCRATCH.with(|cell| cell.borrow_mut().buffer_stats(stats));
 }
 
 fn extract_row_uncounted(set: &FeatureSet, payload: &[u8]) -> (Vec<(usize, f64)>, ExtractStats) {
@@ -323,6 +444,7 @@ fn extract_row_uncounted(set: &FeatureSet, payload: &[u8]) -> (Vec<(usize, f64)>
             dfa,
             vm,
             row,
+            ..
         } = scratch;
         row.clear();
         let normalized = normalize_into(payload, norm);
@@ -361,7 +483,7 @@ pub fn extract_dense_into(set: &FeatureSet, payload: &[u8], out: &mut Vec<f64>) 
     out.clear();
     out.resize(set.len(), 0.0);
     let stats = extract_traced(set, payload, |id, c| out[id] = c as f64, None);
-    record_stats(&stats, 1);
+    record_stats_buffered(stats);
 }
 
 /// Like [`extract_dense_into`] but recording per-stage spans
@@ -378,7 +500,7 @@ pub fn extract_dense_into_traced(
     out.clear();
     out.resize(set.len(), 0.0);
     let stats = extract_traced(set, payload, |id, c| out[id] = c as f64, Some(trace));
-    record_stats(&stats, 1);
+    record_stats_buffered(stats);
 }
 
 /// Extracts the full sample×feature matrix, parallelized over
@@ -561,6 +683,72 @@ mod tests {
             stats.vm_runs,
             prescan_stats.vm_runs
         );
+    }
+
+    #[test]
+    fn acceleration_keeps_rows_identical_on_the_full_library() {
+        // The full 439-feature automaton rarely parks on English-like
+        // benign text (unanchored signature fragments keep the pending
+        // set churning), so this test pins only the invariant that
+        // matters at this layer: acceleration on/off is row-identical,
+        // and the accel counters stay well-formed.
+        let set = FeatureSet::full();
+        let off = set.with_acceleration(false);
+        assert!(set.acceleration_enabled());
+        assert!(!off.acceleration_enabled());
+        for payload in [
+            b"page=2&sort=asc&term=winter jackets and boots for the whole family pleas".as_slice(),
+            b"id=-1+union+select+1,2,concat(version(),0x3a),4--+-",
+            b"ts=1700000000&sig=3a2b1c4d5e6f&limit=100&offset=2400",
+        ] {
+            // Warm each engine right before its measured pass — the
+            // two sets are distinct automata, and switching rebinds
+            // (cold-clears) the thread-local DFA cache.
+            let _ = extract_row_uncounted(&set, payload);
+            let (row_on, on_stats) = extract_row_uncounted(&set, payload);
+            let _ = extract_row_uncounted(&off, payload);
+            let (row_off, off_stats) = extract_row_uncounted(&off, payload);
+            assert_eq!(row_on, row_off, "{payload:?}");
+            assert_eq!(off_stats.dfa_skipped, 0, "{off_stats:?}");
+            assert_eq!(off_stats.dfa_accel_states, 0, "{off_stats:?}");
+            assert!(on_stats.dfa_skipped <= on_stats.dfa_bytes);
+            for s in [&on_stats, &off_stats] {
+                assert!(
+                    s.dfa_hit_ratio().is_some_and(|r| (0.0..=1.0).contains(&r)),
+                    "{s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn acceleration_skips_bytes_where_the_automaton_parks() {
+        // A keyword-only library *does* park: no keyword can start
+        // mid-run on a non-letter byte, so the empty pending state
+        // self-loops across digit/punctuation runs under both
+        // word-context variants and earns a dense escape plan.
+        let kw: Vec<_> = FeatureSet::full()
+            .features()
+            .iter()
+            .filter(|f| f.source == crate::sources::FeatureSource::ReservedWords)
+            .cloned()
+            .collect();
+        assert!(!kw.is_empty());
+        let set = FeatureSet::from_features(kw.clone());
+        let off = set.with_acceleration(false);
+        let payload: &[u8] = b"ts=1700000000&sig=3a2b1c4d5e6f0000&limit=100&offset=2400";
+        let _ = extract_row_uncounted(&set, payload);
+        let (row_on, on_stats) = extract_row_uncounted(&set, payload);
+        let _ = extract_row_uncounted(&off, payload);
+        let (row_off, off_stats) = extract_row_uncounted(&off, payload);
+        assert_eq!(row_on, row_off);
+        assert_eq!(off_stats.dfa_skipped, 0, "{off_stats:?}");
+        assert!(on_stats.dfa_skipped > 0, "{on_stats:?}");
+        assert!(on_stats.dfa_accel_states > 0, "{on_stats:?}");
+        assert!(on_stats.dfa_skip_ratio().unwrap() > 0.0);
+        assert!(on_stats
+            .dfa_hit_ratio()
+            .is_some_and(|r| (0.0..=1.0).contains(&r)));
     }
 
     #[test]

@@ -53,6 +53,15 @@ impl Feature {
         self.regex.count_all_with(normalized_payload, cache)
     }
 
+    /// [`Feature::count_with`] for payloads the fused scan already
+    /// proved this feature matches: skips the feature's own prefilter
+    /// gate (a redundant haystack traversal — the prefilter never
+    /// rejects a matching payload, so the count is identical).
+    pub fn count_known_match(&self, normalized_payload: &[u8], cache: &mut VmCache) -> usize {
+        self.regex
+            .count_all_prefiltered_with(normalized_payload, cache)
+    }
+
     /// Borrow of the compiled pattern.
     pub fn regex(&self) -> &Regex {
         &self.regex

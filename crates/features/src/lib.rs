@@ -52,6 +52,15 @@ mod proptests {
         SET.get_or_init(FeatureSet::full)
     }
 
+    /// The same library with quiescent-state acceleration disabled —
+    /// a separate compiled automaton, so alternating extractions
+    /// between the two sets also exercises the thread-local DFA
+    /// cache's rebind (hot-reload) path on every case.
+    fn unaccelerated_set() -> &'static FeatureSet {
+        static SET: OnceLock<FeatureSet> = OnceLock::new();
+        SET.get_or_init(|| FeatureSet::full().with_acceleration(false))
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -105,6 +114,31 @@ mod proptests {
                 prop_assert_eq!(&row, &extract::extract_row(&alt, &payload));
                 prop_assert_eq!(&dense, &extract::extract_dense(&alt, &payload));
             }
+        }
+
+        /// Acceleration invariant at the library level: skipping
+        /// quiescent DFA runs must be invisible in results. Sparse
+        /// rows are equal and dense vectors are *bitwise* identical
+        /// (`f64::to_bits`, not `==` — the downstream detector dots
+        /// these against trained weights, so even a sign-of-zero
+        /// difference would be a real divergence).
+        #[test]
+        fn accelerated_extraction_is_bit_identical(
+            payload in proptest::collection::vec(any::<u8>(), 0..300),
+        ) {
+            let on = full_set();
+            let off = unaccelerated_set();
+            prop_assert!(on.acceleration_enabled());
+            prop_assert!(!off.acceleration_enabled());
+            prop_assert_eq!(
+                extract::extract_row(on, &payload),
+                extract::extract_row(off, &payload)
+            );
+            let dense_on: Vec<u64> = extract::extract_dense(on, &payload)
+                .iter().map(|v| v.to_bits()).collect();
+            let dense_off: Vec<u64> = extract::extract_dense(off, &payload)
+                .iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(dense_on, dense_off);
         }
 
         #[test]

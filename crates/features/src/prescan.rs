@@ -60,6 +60,10 @@ pub struct CompiledFeatureSet {
     fallback_base: CandidateSet,
     /// Fallback features covered by `fallback_engine`.
     fallback_prefiltered: usize,
+    /// Per-feature: true when the feature rides the fused automaton
+    /// (its candidate bit, when set, is an exact "this feature
+    /// matches", so its VM run may skip the redundant prefilter gate).
+    fused_mask: Vec<bool>,
 }
 
 /// What one fused-path candidate scan did; feeds the fused-engine
@@ -78,8 +82,16 @@ pub struct FusedScanReport {
 
 impl CompiledFeatureSet {
     /// Builds the prescan for `features` (ids must be their indices,
-    /// which [`crate::FeatureSet`] guarantees).
+    /// which [`crate::FeatureSet`] guarantees) with quiescent-state
+    /// acceleration enabled.
     pub fn build(features: &[Feature]) -> CompiledFeatureSet {
+        CompiledFeatureSet::build_with(features, true)
+    }
+
+    /// [`CompiledFeatureSet::build`] with explicit control over lazy-
+    /// DFA acceleration; `accelerate: false` exists for A/B
+    /// benchmarking and the accel-equivalence proptests.
+    pub fn build_with(features: &[Feature], accelerate: bool) -> CompiledFeatureSet {
         let n = features.len();
         let mut builder = MultiLiteralBuilder::new();
         let mut always_run = Vec::new();
@@ -108,11 +120,12 @@ impl CompiledFeatureSet {
         // feature's own id. Refused patterns keep the literal-prescan
         // treatment among themselves; the two id populations are
         // disjoint, so both engines share one output bitset.
-        let mut fuser = FusedSetBuilder::new();
+        let mut fuser = FusedSetBuilder::new().accelerate(accelerate);
         let mut fallback: Vec<(u32, &'static str)> = Vec::new();
         let mut fallback_builder = MultiLiteralBuilder::new();
         let mut fallback_base = CandidateSet::new(n);
         let mut fallback_prefiltered = 0usize;
+        let mut fused_mask = vec![true; n];
         for (i, f) in features.iter().enumerate() {
             // Features compile case-insensitively (see
             // `crate::feature::Feature::new`); the fused automaton
@@ -121,6 +134,7 @@ impl CompiledFeatureSet {
                 .add(i as u32, &f.pattern, true)
                 .expect("feature pattern already compiled once");
             if let FuseOutcome::Fallback(reason) = outcome {
+                fused_mask[i] = false;
                 fallback.push((i as u32, reason));
                 match f.regex().prefilter() {
                     Some(pf) if !pf.literals().is_empty() => {
@@ -154,6 +168,7 @@ impl CompiledFeatureSet {
             fallback_engine,
             fallback_base,
             fallback_prefiltered,
+            fused_mask,
         }
     }
 
@@ -207,6 +222,13 @@ impl CompiledFeatureSet {
     /// Features inside the fused automaton.
     pub fn fused_features(&self) -> usize {
         self.fused_count
+    }
+
+    /// True when feature `id` rides the fused automaton — its
+    /// candidate bit is then an exact match indicator, not a
+    /// superset guess.
+    pub fn is_fused(&self, id: usize) -> bool {
+        self.fused.is_some() && self.fused_mask.get(id).copied().unwrap_or(false)
     }
 
     /// Features the fuser refused, with the per-feature reason; these

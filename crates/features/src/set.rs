@@ -42,6 +42,10 @@ pub struct FeatureSet {
     compiled: OnceLock<Arc<CompiledFeatureSet>>,
     /// Which extraction strategy this handle uses.
     mode: MatchMode,
+    /// Whether the fused lazy DFA uses quiescent-state acceleration
+    /// (on by default; off exists for A/B benchmarks and equivalence
+    /// tests).
+    accelerate: bool,
 }
 
 impl FeatureSet {
@@ -109,14 +113,37 @@ impl FeatureSet {
             features,
             compiled: OnceLock::new(),
             mode: MatchMode::default(),
+            accelerate: true,
         }
     }
 
     /// The set-level matching engines for this feature set, built on
     /// first use and shared by clones.
     pub fn compiled(&self) -> &CompiledFeatureSet {
-        self.compiled
-            .get_or_init(|| Arc::new(CompiledFeatureSet::build(&self.features)))
+        self.compiled.get_or_init(|| {
+            Arc::new(CompiledFeatureSet::build_with(
+                &self.features,
+                self.accelerate,
+            ))
+        })
+    }
+
+    /// A copy of this set with lazy-DFA acceleration toggled. Unlike
+    /// [`FeatureSet::with_match_mode`], the compiled engines are NOT
+    /// shared — the automaton itself differs — so the copy pays one
+    /// rebuild on first use.
+    pub fn with_acceleration(&self, enabled: bool) -> FeatureSet {
+        FeatureSet {
+            features: self.features.clone(),
+            compiled: OnceLock::new(),
+            mode: self.mode,
+            accelerate: enabled,
+        }
+    }
+
+    /// Whether the fused engine skips quiescent states.
+    pub fn acceleration_enabled(&self) -> bool {
+        self.accelerate
     }
 
     /// The extraction strategy this handle uses.

@@ -186,12 +186,62 @@ fn passes_counter() -> &'static Arc<Counter> {
     PASSES.get_or_init(|| psigene_telemetry::counter("http.normalize_passes"))
 }
 
+/// Bytes that can give some pipeline transformation work to do: `%`
+/// (percent/unicode escapes), `+` (form-encoded space), `A`-`Z`
+/// (lowercasing), and every ASCII control byte — `0x00..0x20` and
+/// `0x7F` — which covers both control stripping and the non-space
+/// whitespace (`\t`, `\n`, `\x0B`, `\x0C`, `\r`) that collapsing
+/// rewrites. A payload free of these (and of adjacent spaces, checked
+/// separately) satisfies none of the [`would_change`] predicates.
+const SUSPICIOUS: [bool; 256] = {
+    let mut t = [false; 256];
+    let mut b = 0usize;
+    while b < 256 {
+        t[b] = b == b'%' as usize
+            || b == b'+' as usize
+            || (b >= b'A' as usize && b <= b'Z' as usize)
+            || b < 0x20
+            || b == 0x7F;
+        b += 1;
+    }
+    t
+};
+
+/// Single-scan normal-form gate: `true` guarantees every pipeline
+/// transformation is a no-op on `input`, letting [`normalize_into`]
+/// return the input borrowed after one pass over it instead of five
+/// per-transformation [`would_change`] scans. `false` only routes to
+/// the exact per-transformation path, so the gate being conservative
+/// would cost time, never correctness; exactness is pinned by test.
+fn is_normal_form(input: &[u8]) -> bool {
+    let mut prev_space = false;
+    for &b in input {
+        if SUSPICIOUS[b as usize] {
+            return false;
+        }
+        let space = b == b' ';
+        if space && prev_space {
+            return false;
+        }
+        prev_space = space;
+    }
+    true
+}
+
 /// Normalizes `input` through the [`STANDARD_PIPELINE`] to its
 /// bounded fix point, writing any intermediate results into
 /// `scratch` and returning a borrow of the normalized bytes — the
 /// input itself when it was already in normal form, a scratch buffer
 /// otherwise. Byte-identical to [`normalize`] (pinned by proptest).
 pub fn normalize_into<'a>(input: &'a [u8], scratch: &'a mut NormScratch) -> &'a [u8] {
+    // Fast path for the common case (benign traffic is overwhelmingly
+    // already normal): one scan proves the fix-point loop would run a
+    // single all-skip pass, which is exactly one counted pass and a
+    // borrow of the input.
+    if is_normal_form(input) {
+        passes_counter().add(1);
+        return input;
+    }
     let NormScratch {
         ref mut a,
         ref mut b,
@@ -369,6 +419,32 @@ mod tests {
         ] {
             assert_eq!(normalize_into(p, &mut scratch), normalize_reference(p));
         }
+    }
+
+    #[test]
+    fn fast_path_gate_never_skips_needed_work() {
+        // `is_normal_form(x)` must imply no transformation changes
+        // `x`. Sweep all single bytes and all suspicious-adjacent
+        // pairs (adjacency only matters for space collapsing).
+        let changes = |input: &[u8]| STANDARD_PIPELINE.iter().any(|&t| would_change(t, input));
+        for b in 0..=255u8 {
+            let one = [b];
+            if is_normal_form(&one) {
+                assert!(!changes(&one), "gate wrong on single byte {b:#04x}");
+            }
+        }
+        for a in [b' ', b'a', b'%', b'+', b'\t', 0x00, 0x7F] {
+            for b in 0..=255u8 {
+                let two = [a, b];
+                if is_normal_form(&two) {
+                    assert!(!changes(&two), "gate wrong on pair {a:#04x},{b:#04x}");
+                }
+            }
+        }
+        // And the gate actually fires on representative traffic.
+        assert!(is_normal_form(b"page=2&sort=asc id=17"));
+        assert!(!is_normal_form(b"id=%27"));
+        assert!(!is_normal_form(b"two  spaces"));
     }
 
     #[test]

@@ -71,40 +71,34 @@ impl DecayedSketch {
         }
     }
 
-    /// Adds a dense weight vector in one fused sweep: `weights[i]` is
-    /// added to bin `i`. NaN and non-positive entries contribute
-    /// nothing (`max(0.0)` maps both to zero); entries beyond the
-    /// sketch's bins are ignored. The loops are branch-free and the
-    /// reduction runs four lanes wide, so the detector's per-request
-    /// feature vector — usually all zeros — costs two vectorized
-    /// passes instead of a bin-by-bin walk. A vector containing an
-    /// infinity is the one case `max` can't sanitize; it falls back
-    /// to the checked per-bin path so `total` stays finite.
+    /// Adds a dense weight vector in one sweep: `weights[i]` is added
+    /// to bin `i`, exactly as if [`DecayedSketch::observe`] were
+    /// called per bin — NaN, infinite and non-positive entries
+    /// contribute nothing, entries beyond the sketch's bins are
+    /// ignored, and `total` accumulates in the same per-entry order.
+    /// The sweep is what makes this a hot-path primitive: the
+    /// detector's per-request feature vector is overwhelmingly zeros,
+    /// so each 8-wide block is first tested with one integer OR over
+    /// the raw bit patterns (`+0.0` is all-zero bits; `-0.0`, NaN and
+    /// infinities are not, and fall through to the checked per-entry
+    /// path) and the common all-zero block costs no floating-point
+    /// work and no bin stores at all.
     pub fn observe_dense(&mut self, weights: &[f64]) {
         let n = self.bins.len().min(weights.len());
-        let weights = &weights[..n];
-        let mut lanes = [0.0f64; 4];
-        let mut chunks = weights.chunks_exact(4);
-        for c in &mut chunks {
-            lanes[0] += c[0].max(0.0);
-            lanes[1] += c[1].max(0.0);
-            lanes[2] += c[2].max(0.0);
-            lanes[3] += c[3].max(0.0);
-        }
-        let mut added = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
-        for &w in chunks.remainder() {
-            added += w.max(0.0);
-        }
-        if !added.is_finite() {
-            for (bin, &w) in (0..n).zip(weights) {
-                self.observe(bin, w);
+        let mut start = 0;
+        while start < n {
+            let end = (start + 8).min(n);
+            let block = &weights[start..end];
+            if block.iter().fold(0u64, |acc, w| acc | w.to_bits()) != 0 {
+                for (bin, &w) in self.bins[start..end].iter_mut().zip(block) {
+                    if w > 0.0 && w.is_finite() {
+                        *bin += w;
+                        self.total += w;
+                    }
+                }
             }
-            return;
+            start = end;
         }
-        for (bin, &w) in self.bins[..n].iter_mut().zip(weights) {
-            *bin += w.max(0.0);
-        }
-        self.total += added;
     }
 
     /// Applies `steps` decay generations (every weight × decay^steps).

@@ -1,0 +1,186 @@
+//! Escape-byte scanners for accelerated (quiescent) automaton states.
+//!
+//! A quiescent state is one that almost every byte maps back onto
+//! itself: the automaton is "parked" and the per-byte transition
+//! lookup is pure overhead. Once such a state's *escape set* — the
+//! concrete bytes that leave it — is known, the scan can jump
+//! directly to the next escape byte and resume stepping there.
+//!
+//! Two scanners cover the two shapes escape sets take in practice:
+//!
+//! * [`skip_sparse`] — at most 3 escape bytes. A chunked SWAR scan
+//!   (memchr-style, no external deps): each 8-byte chunk is loaded as
+//!   a `u64`, XORed against a broadcast of every escape byte, and the
+//!   classic `(x - 0x01…) & !x & 0x80…` zero-byte trick flags hits.
+//! * [`skip_dense`] — many escape bytes but a large *stay* set,
+//!   represented as a 256-bit bitmap. Still a per-byte loop, but one
+//!   with no loop-carried dependency through a transition table, so
+//!   it pipelines far better than the interpreted DFA step.
+//!
+//! Correctness subtleties (which bytes are safe to skip at all) live
+//! entirely with the callers; these functions only answer "where is
+//! the first byte of `hay[from..]` outside the stay set".
+
+const LO: u64 = 0x0101_0101_0101_0101;
+const HI: u64 = 0x8080_8080_8080_8080;
+
+/// Bit 7 of each byte of the result is set iff that byte of `x` is
+/// zero — with possible false positives only *above* (more
+/// significant than) a true zero byte, so the lowest set bit always
+/// marks the first real zero. With little-endian loads, "lowest bit"
+/// is "earliest haystack position", which is exactly what the
+/// scanners need.
+#[inline(always)]
+fn zero_bytes(x: u64) -> u64 {
+    x.wrapping_sub(LO) & !x & HI
+}
+
+/// Returns the index of the first byte of `hay[from..]` equal to one
+/// of `escapes[..n]`, or `hay.len()` if every remaining byte stays.
+/// `n` must be in `1..=3`.
+pub(crate) fn skip_sparse(hay: &[u8], from: usize, escapes: &[u8; 3], n: usize) -> usize {
+    debug_assert!((1..=3).contains(&n));
+    let b0 = LO.wrapping_mul(escapes[0] as u64);
+    let b1 = LO.wrapping_mul(escapes[1] as u64);
+    let b2 = LO.wrapping_mul(escapes[2] as u64);
+    let mut i = from;
+    while i + 8 <= hay.len() {
+        let w = u64::from_le_bytes(hay[i..i + 8].try_into().unwrap());
+        let mut hit = zero_bytes(w ^ b0);
+        if n >= 2 {
+            hit |= zero_bytes(w ^ b1);
+        }
+        if n >= 3 {
+            hit |= zero_bytes(w ^ b2);
+        }
+        if hit != 0 {
+            return i + (hit.trailing_zeros() >> 3) as usize;
+        }
+        i += 8;
+    }
+    while i < hay.len() {
+        let b = hay[i];
+        if b == escapes[0] || (n >= 2 && b == escapes[1]) || (n >= 3 && b == escapes[2]) {
+            return i;
+        }
+        i += 1;
+    }
+    hay.len()
+}
+
+/// Returns the index of the first byte of `hay[from..]` whose bit in
+/// the 256-bit `stay` bitmap is clear, or `hay.len()` if every
+/// remaining byte stays.
+pub(crate) fn skip_dense(hay: &[u8], from: usize, stay: &[u64; 4]) -> usize {
+    let mut i = from;
+    while i < hay.len() {
+        let b = hay[i] as usize;
+        if stay[b >> 6] >> (b & 63) & 1 == 0 {
+            return i;
+        }
+        i += 1;
+    }
+    hay.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference oracle for both scanners.
+    fn naive(hay: &[u8], from: usize, is_escape: impl Fn(u8) -> bool) -> usize {
+        (from..hay.len())
+            .find(|&i| is_escape(hay[i]))
+            .unwrap_or(hay.len())
+    }
+
+    #[test]
+    fn sparse_matches_naive_on_crafted_inputs() {
+        let hays: &[&[u8]] = &[
+            b"",
+            b"a",
+            b"aaaaaaaa",
+            b"aaaaaaaaaaaaaaaaz",
+            b"zaaaaaaaaaaaaaaaa",
+            b"aaaazaaaaaaazaaaa",
+            b"abcdefghijklmnopqrstuvwxyz0123456789",
+            b"\x00\x00\x00\x00\x00\x00\x00\x00\x00",
+            b"\x80\x80\x80\x80\x80\x80\x80\x80\x80",
+            b"short",
+        ];
+        let escape_sets: &[(&[u8; 3], usize)] = &[
+            (b"z\x00\x00", 1),
+            (b"z0\x00", 2),
+            (b"z0\x80", 3),
+            (b"\x00\x00\x00", 1),
+            (b"\x80\xffq", 3),
+        ];
+        for hay in hays {
+            for &(esc, n) in escape_sets {
+                for from in 0..=hay.len() {
+                    let want = naive(hay, from, |b| esc[..n].contains(&b));
+                    assert_eq!(
+                        skip_sparse(hay, from, esc, n),
+                        want,
+                        "hay {hay:?} from {from} escapes {:?}",
+                        &esc[..n]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_matches_naive_on_pseudorandom_bytes() {
+        // Deterministic xorshift soup: all byte values, all offsets
+        // modulo the 8-byte chunking.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let hay: Vec<u8> = (0..4099)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        for &(esc, n) in &[
+            (b"\x12\x00\x00", 1usize),
+            (b"\x12\x80\x00", 2),
+            (b"\x12\x80\xff", 3),
+        ] {
+            for from in [0usize, 1, 7, 8, 9, 4090, 4099] {
+                let want = naive(&hay, from, |b| esc[..n].contains(&b));
+                assert_eq!(skip_sparse(&hay, from, esc, n), want);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_matches_naive() {
+        // Stay set: ASCII letters and digits.
+        let mut stay = [0u64; 4];
+        for b in 0..256usize {
+            let c = b as u8;
+            if c.is_ascii_alphanumeric() {
+                stay[b >> 6] |= 1 << (b & 63);
+            }
+        }
+        let hays: &[&[u8]] = &[b"", b"abc123", b"abc 123", b" x", b"abcdef=ghij&k"];
+        for hay in hays {
+            for from in 0..=hay.len() {
+                let want = naive(hay, from, |b| !b.is_ascii_alphanumeric());
+                assert_eq!(
+                    skip_dense(hay, from, &stay),
+                    want,
+                    "hay {hay:?} from {from}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_escape_never_fires_from_past_end() {
+        assert_eq!(skip_sparse(b"abc", 3, b"a\x00\x00", 1), 3);
+        assert_eq!(skip_dense(b"abc", 3, &[0u64; 4]), 3);
+    }
+}

@@ -20,6 +20,7 @@ pub fn compile(ast: &Ast, size_limit: usize) -> Result<Program, Error> {
     c.push(Inst::Match)?;
     c.prog.matches_empty = ast.is_nullable();
     c.prog.compute_root_plan();
+    c.prog.compute_closures();
     Ok(c.prog)
 }
 

@@ -41,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod accel;
 mod ast;
 mod classes;
 mod compiler;
@@ -274,6 +275,17 @@ impl Regex {
                 return 0;
             }
         }
+        self.count_all_prefiltered_with(hay, cache)
+    }
+
+    /// [`Regex::count_all_with`] minus the up-front prefilter gate,
+    /// for callers that already *know* the pattern matches `hay`
+    /// (e.g. the fused lazy-DFA scan reported it). The prefilter is
+    /// sound — it never rejects a matching haystack — so skipping it
+    /// cannot change the count; it only saves a redundant haystack
+    /// traversal. On haystacks that do not match, this is strictly
+    /// slower than `count_all_with`, never wrong.
+    pub fn count_all_prefiltered_with(&self, hay: &[u8], cache: &mut vm::VmCache) -> usize {
         let mut n = 0;
         let mut next_start = 0;
         while next_start <= hay.len() {

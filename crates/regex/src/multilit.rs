@@ -19,6 +19,7 @@
 //! candidate set produced by [`MultiLiteral::scan_into`] equals the
 //! set of patterns whose own prefilter passes.
 
+use crate::accel::skip_dense;
 use std::collections::VecDeque;
 
 /// Sentinel for an absent goto transition during construction.
@@ -205,10 +206,23 @@ impl MultiLiteralBuilder {
             out.dedup();
             out.shrink_to_fit();
         }
+        // Escape-set skip for the start state (the same trick the
+        // fused lazy DFA uses for quiescent states): a raw byte stays
+        // at the root iff its folded transition loops there, and the
+        // root never carries outputs (empty literals are refused), so
+        // runs of stay bytes can be jumped without stepping.
+        let mut start_stay = [0u64; 4];
+        for b in 0..256usize {
+            let folded = (b as u8).to_ascii_lowercase() as usize;
+            if next[folded] == 0 {
+                start_stay[b >> 6] |= 1 << (b & 63);
+            }
+        }
         MultiLiteral {
             next,
             outputs,
             distinct_patterns: distinct.len(),
+            start_stay,
         }
     }
 }
@@ -225,6 +239,10 @@ pub struct MultiLiteral {
     /// Distinct pattern ids carried by the automaton; lets scans stop
     /// early once every pattern has been seen.
     distinct_patterns: usize,
+    /// Bytes whose (folded) transition keeps the scan at the start
+    /// state, as a 256-bit bitmap over *raw* byte values; scans jump
+    /// over runs of them.
+    start_stay: [u64; 4],
 }
 
 impl MultiLiteral {
@@ -246,8 +264,18 @@ impl MultiLiteral {
     pub fn scan_into(&self, hay: &[u8], found: &mut CandidateSet) -> usize {
         let mut state = 0usize;
         let mut new = 0usize;
-        for &b in hay {
-            state = self.next[state * 256 + b.to_ascii_lowercase() as usize] as usize;
+        let mut i = 0usize;
+        while i < hay.len() {
+            if state == 0 {
+                // Parked at the root: jump to the next byte that can
+                // start any literal. Root outputs are empty, so the
+                // skipped bytes observably do nothing.
+                i = skip_dense(hay, i, &self.start_stay);
+                if i >= hay.len() {
+                    break;
+                }
+            }
+            state = self.next[state * 256 + hay[i].to_ascii_lowercase() as usize] as usize;
             let out = &self.outputs[state];
             if !out.is_empty() {
                 for &pid in out {
@@ -261,6 +289,7 @@ impl MultiLiteral {
                     break;
                 }
             }
+            i += 1;
         }
         new
     }

@@ -51,6 +51,64 @@ pub struct Program {
     /// instructions, in priority order. `None` when the root closure
     /// is position-dependent (anchors/boundaries) or can match empty.
     pub root_plan: Option<RootPlan>,
+    /// Precompiled epsilon closures: for every pc, the consuming and
+    /// match instructions reachable through epsilon transitions, in
+    /// priority order, each tagged with the assertions crossed on the
+    /// way. The VM's thread-spawn path iterates this flat list instead
+    /// of re-walking splits/jumps with an explicit stack on every
+    /// byte. Computed by [`Program::compute_closures`].
+    pub closures: ClosureTable,
+}
+
+/// Assertion-requirement bits on a [`ClosureStep`]: every bit in a
+/// step's mask must also be present in the position's context bits
+/// for the step to fire. A position's context has exactly one of
+/// `REQ_WORD_BOUNDARY`/`REQ_NOT_WORD_BOUNDARY` set, so a step that
+/// accumulated both (a contradictory epsilon path) can never fire —
+/// exactly like the walk it replaces.
+pub const REQ_START: u8 = 1;
+/// See [`REQ_START`].
+pub const REQ_END: u8 = 2;
+/// See [`REQ_START`].
+pub const REQ_WORD_BOUNDARY: u8 = 4;
+/// See [`REQ_START`].
+pub const REQ_NOT_WORD_BOUNDARY: u8 = 8;
+
+/// One precompiled epsilon-closure step; see [`Program::closures`].
+#[derive(Debug, Clone, Copy)]
+pub struct ClosureStep {
+    /// The consuming (or match) instruction reached.
+    pub target: u32,
+    /// Conjunction of [`REQ_START`]-family bits crossed en route.
+    pub mask: u8,
+}
+
+/// Flat per-pc epsilon-closure lists; see [`Program::closures`].
+#[derive(Debug, Clone, Default)]
+pub struct ClosureTable {
+    steps: Vec<ClosureStep>,
+    /// `spans[pc]..spans[pc + 1]` indexes `steps`; `insts.len() + 1`
+    /// entries.
+    spans: Vec<u32>,
+    /// True when some step carries a non-empty mask. Assertion-free
+    /// programs (most IDS signature fragments) let the VM skip
+    /// computing position context entirely: every mask test passes
+    /// for any context.
+    has_assertions: bool,
+}
+
+impl ClosureTable {
+    /// The closure steps of `pc`, in thread-priority order.
+    #[inline]
+    pub fn steps_of(&self, pc: u32) -> &[ClosureStep] {
+        &self.steps[self.spans[pc as usize] as usize..self.spans[pc as usize + 1] as usize]
+    }
+
+    /// True when any step's firing depends on position context.
+    #[inline]
+    pub fn has_assertions(&self) -> bool {
+        self.has_assertions
+    }
 }
 
 /// Byte-indexed dispatch table for starting new match attempts.
@@ -132,6 +190,63 @@ impl Program {
             }
         }
         self.root_plan = Some(RootPlan { by_byte });
+    }
+
+    /// Precompiles the epsilon closure of every pc; call once after
+    /// the instruction stream is final.
+    ///
+    /// Each closure is the preorder walk [`crate::vm`] used to do per
+    /// spawn — splits/jumps flattened away, assertions folded into a
+    /// per-step requirement mask. Paths are deduplicated on
+    /// `(pc, mask)`: the same pc explored under two different masks
+    /// yields steps for both (at runtime the first step whose mask is
+    /// satisfied wins; the VM's per-step `seen` marks suppress the
+    /// rest), which reproduces the walk's behavior exactly — a
+    /// stacked walk only re-explores a pc when the assertions leading
+    /// to it differ, and mask accumulation is monotone, so epsilon
+    /// cycles terminate.
+    pub fn compute_closures(&mut self) {
+        let n = self.insts.len();
+        let mut steps: Vec<ClosureStep> = Vec::new();
+        let mut spans: Vec<u32> = Vec::with_capacity(n + 1);
+        spans.push(0);
+        // (pc, mask) visit marks, generation-stamped per source pc so
+        // the buffer is not re-zeroed n times.
+        let mut seen = vec![0u32; n * 16];
+        let mut stack: Vec<(u32, u8)> = Vec::new();
+        for pc in 0..n as u32 {
+            let generation = pc + 1;
+            stack.clear();
+            stack.push((pc, 0));
+            while let Some((p, mask)) = stack.pop() {
+                let slot = p as usize * 16 + mask as usize;
+                if seen[slot] == generation {
+                    continue;
+                }
+                seen[slot] = generation;
+                match &self.insts[p as usize] {
+                    Inst::Jmp(t) => stack.push((*t, mask)),
+                    Inst::Split(a, b) => {
+                        // Low-priority arm first, so the preferred arm
+                        // is walked (and listed) first.
+                        stack.push((*b, mask));
+                        stack.push((*a, mask));
+                    }
+                    Inst::StartText => stack.push((p + 1, mask | REQ_START)),
+                    Inst::EndText => stack.push((p + 1, mask | REQ_END)),
+                    Inst::WordBoundary => stack.push((p + 1, mask | REQ_WORD_BOUNDARY)),
+                    Inst::NotWordBoundary => stack.push((p + 1, mask | REQ_NOT_WORD_BOUNDARY)),
+                    _ => steps.push(ClosureStep { target: p, mask }),
+                }
+            }
+            spans.push(steps.len() as u32);
+        }
+        let has_assertions = steps.iter().any(|s| s.mask != 0);
+        self.closures = ClosureTable {
+            steps,
+            spans,
+            has_assertions,
+        };
     }
 }
 

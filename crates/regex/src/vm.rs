@@ -7,7 +7,7 @@
 //! time with no backtracking blow-up.
 
 use crate::prefilter::PrefixSkip;
-use crate::program::{Inst, Program};
+use crate::program::{Inst, Program, REQ_END, REQ_NOT_WORD_BOUNDARY, REQ_START, REQ_WORD_BOUNDARY};
 
 /// A matched span, `start..end` byte offsets into the haystack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,7 +24,6 @@ pub struct Span {
 pub struct VmCache {
     clist: ThreadList,
     nlist: ThreadList,
-    stack: Vec<PendingThread>,
 }
 
 impl VmCache {
@@ -36,12 +35,6 @@ impl VmCache {
 
 #[derive(Debug, Clone, Copy)]
 struct Thread {
-    pc: u32,
-    start: usize,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct PendingThread {
     pc: u32,
     start: usize,
 }
@@ -102,6 +95,9 @@ pub fn find_at(
     cache.nlist.clear(plen);
     let mut matched: Option<Span> = None;
     let plan = prog.root_plan.as_ref();
+    // Assertion-free programs never consult the context, so skip
+    // computing it (two word-boundary probes per position otherwise).
+    let asserts = prog.closures.has_assertions();
 
     let mut pos = start;
     loop {
@@ -113,13 +109,16 @@ pub fn find_at(
                 }
             }
         }
+        // The position's assertion context, computed once per position
+        // and tested against each precompiled closure step's mask.
+        let ctx = if asserts { ctx_bits(hay, pos) } else { 0 };
         // While no match is committed, a fresh root thread is added at
         // every position. Appending at the end gives earlier starts
         // higher priority, which is exactly the leftmost rule. With a
         // precomputed root plan the closure walk is skipped here and
         // fused into the step below.
         if matched.is_none() && plan.is_none() {
-            add_thread(prog, &mut cache.clist, &mut cache.stack, 0, pos, pos, hay);
+            add_closure(prog, &mut cache.clist, 0, pos, ctx);
         }
         // An empty list after a match is committed means nothing can
         // override it; an empty list before a match just means the
@@ -129,6 +128,13 @@ pub fn find_at(
             break;
         }
         let byte = hay.get(pos).copied();
+        // Successor threads land at `pos + 1`; their closures are
+        // filtered by that position's context.
+        let nctx = if asserts && byte.is_some() {
+            ctx_bits(hay, pos + 1)
+        } else {
+            0
+        };
         let mut cut = false;
         cache.nlist.clear(plen);
         for i in 0..cache.clist.dense.len() {
@@ -139,56 +145,24 @@ pub fn find_at(
             match &prog.insts[th.pc as usize] {
                 Inst::Byte(b) => {
                     if byte == Some(*b) {
-                        add_thread(
-                            prog,
-                            &mut cache.nlist,
-                            &mut cache.stack,
-                            th.pc + 1,
-                            th.start,
-                            pos + 1,
-                            hay,
-                        );
+                        add_closure(prog, &mut cache.nlist, th.pc + 1, th.start, nctx);
                     }
                 }
                 Inst::Class(idx) => {
                     if let Some(b) = byte {
                         if prog.classes[*idx as usize].contains(b) {
-                            add_thread(
-                                prog,
-                                &mut cache.nlist,
-                                &mut cache.stack,
-                                th.pc + 1,
-                                th.start,
-                                pos + 1,
-                                hay,
-                            );
+                            add_closure(prog, &mut cache.nlist, th.pc + 1, th.start, nctx);
                         }
                     }
                 }
                 Inst::Any => {
                     if byte.is_some() {
-                        add_thread(
-                            prog,
-                            &mut cache.nlist,
-                            &mut cache.stack,
-                            th.pc + 1,
-                            th.start,
-                            pos + 1,
-                            hay,
-                        );
+                        add_closure(prog, &mut cache.nlist, th.pc + 1, th.start, nctx);
                     }
                 }
                 Inst::AnyNoNewline => {
                     if byte.is_some() && byte != Some(b'\n') {
-                        add_thread(
-                            prog,
-                            &mut cache.nlist,
-                            &mut cache.stack,
-                            th.pc + 1,
-                            th.start,
-                            pos + 1,
-                            hay,
-                        );
+                        add_closure(prog, &mut cache.nlist, th.pc + 1, th.start, nctx);
                     }
                 }
                 Inst::Match | Inst::MatchId(_) => {
@@ -219,15 +193,7 @@ pub fn find_at(
         if let (Some(plan), Some(b), None) = (plan, byte, matched) {
             if !cut {
                 for &next_pc in &plan.by_byte[b as usize] {
-                    add_thread(
-                        prog,
-                        &mut cache.nlist,
-                        &mut cache.stack,
-                        next_pc,
-                        pos,
-                        pos + 1,
-                        hay,
-                    );
+                    add_closure(prog, &mut cache.nlist, next_pc, pos, nctx);
                 }
             }
         }
@@ -245,78 +211,48 @@ pub fn find_at(
     matched
 }
 
-/// Adds `pc`'s epsilon closure to `list` in priority (preorder) order.
-fn add_thread(
-    prog: &Program,
-    list: &mut ThreadList,
-    stack: &mut Vec<PendingThread>,
-    pc: u32,
-    start: usize,
-    pos: usize,
-    hay: &[u8],
-) {
-    stack.clear();
-    stack.push(PendingThread { pc, start });
-    while let Some(p) = stack.pop() {
-        if list.contains(p.pc) {
+/// Adds `pc`'s precompiled epsilon closure to `list`: every step whose
+/// assertion mask is satisfied by `ctx`, in priority (preorder) order.
+///
+/// Equivalent to the explicit stack walk it replaced: the closure
+/// table lists consuming/match targets in the same preorder, a step
+/// whose mask needs a bit absent from `ctx` is exactly a path the walk
+/// would have pruned at the failing assertion, and the `seen` marks
+/// reproduce the walk's first-path-wins dedup.
+#[inline]
+fn add_closure(prog: &Program, list: &mut ThreadList, pc: u32, start: usize, ctx: u8) {
+    for step in prog.closures.steps_of(pc) {
+        if step.mask & !ctx != 0 {
             continue;
         }
-        list.mark(p.pc);
-        match &prog.insts[p.pc as usize] {
-            Inst::Jmp(t) => stack.push(PendingThread {
-                pc: *t,
-                start: p.start,
-            }),
-            Inst::Split(a, b) => {
-                // Push the low-priority arm first so the preferred arm
-                // is processed (and queued) first.
-                stack.push(PendingThread {
-                    pc: *b,
-                    start: p.start,
-                });
-                stack.push(PendingThread {
-                    pc: *a,
-                    start: p.start,
-                });
-            }
-            Inst::StartText => {
-                if pos == 0 {
-                    stack.push(PendingThread {
-                        pc: p.pc + 1,
-                        start: p.start,
-                    });
-                }
-            }
-            Inst::EndText => {
-                if pos == hay.len() {
-                    stack.push(PendingThread {
-                        pc: p.pc + 1,
-                        start: p.start,
-                    });
-                }
-            }
-            Inst::WordBoundary => {
-                if at_word_boundary(hay, pos) {
-                    stack.push(PendingThread {
-                        pc: p.pc + 1,
-                        start: p.start,
-                    });
-                }
-            }
-            Inst::NotWordBoundary => {
-                if !at_word_boundary(hay, pos) {
-                    stack.push(PendingThread {
-                        pc: p.pc + 1,
-                        start: p.start,
-                    });
-                }
-            }
-            _ => list.dense.push(Thread {
-                pc: p.pc,
-                start: p.start,
-            }),
+        if list.contains(step.target) {
+            continue;
         }
+        list.mark(step.target);
+        list.dense.push(Thread {
+            pc: step.target,
+            start,
+        });
     }
+}
+
+/// The assertion context of position `pos`: which `REQ_*` requirements
+/// the position satisfies. Exactly one of `REQ_WORD_BOUNDARY` /
+/// `REQ_NOT_WORD_BOUNDARY` is set.
+#[inline]
+fn ctx_bits(hay: &[u8], pos: usize) -> u8 {
+    let mut ctx = if at_word_boundary(hay, pos) {
+        REQ_WORD_BOUNDARY
+    } else {
+        REQ_NOT_WORD_BOUNDARY
+    };
+    if pos == 0 {
+        ctx |= REQ_START;
+    }
+    if pos == hay.len() {
+        ctx |= REQ_END;
+    }
+    ctx
 }
 
 /// ASCII word byte: letter, digit or underscore. Shared with the

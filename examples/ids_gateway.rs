@@ -187,6 +187,10 @@ fn main() {
             meta.model_id, meta.trained_at, meta.training_samples
         );
     }
+    // Per-row extraction telemetry is window-buffered per thread; the
+    // worker scratches flushed when `shutdown()` joined them, and this
+    // flushes the main thread's window so the snapshot is complete.
+    psigene_features::extract::flush_extract_metrics();
     let snap = psigene_telemetry::global().snapshot();
     if let Some(h) = snap.histograms.get("serve.latency_ns") {
         if let (Some(p50), Some(p99)) = (h.p50(), h.p99()) {
@@ -206,6 +210,39 @@ fn main() {
                 p99 as f64 / 1000.0
             );
         }
+    }
+    // The fused matcher's internals: lazy-DFA cache occupancy and how
+    // much of the byte stream the quiescent-state accelerator jumped.
+    if let Some(&states) = snap.gauges.get("regex.fused.cache_states") {
+        let hit = snap
+            .gauges
+            .get("regex.fused.cache_hit_ratio")
+            .copied()
+            .unwrap_or(0.0);
+        let accel_states = snap
+            .gauges
+            .get("regex.fused.accel_states")
+            .copied()
+            .unwrap_or(0.0);
+        let skip_ratio = snap
+            .gauges
+            .get("regex.fused.accel_skip_ratio")
+            .copied()
+            .unwrap_or(0.0);
+        let skipped = snap
+            .counters
+            .get("regex.fused.accel_bytes_skipped")
+            .copied()
+            .unwrap_or(0);
+        println!(
+            "fused DFA: {:.0} cached states ({:.1}% cache hits) / \
+             peak {:.0} accelerated states / {} bytes skipped (window skip ratio {:.3})",
+            states,
+            hit * 100.0,
+            accel_states,
+            skipped,
+            skip_ratio
+        );
     }
     let mut hits: Vec<(&str, u64)> = snap
         .counters
